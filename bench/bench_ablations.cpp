@@ -1,0 +1,209 @@
+// T8 — ablations on the paper's design choices.
+//
+// (a) GEO's randomized rebuild thresholds: with deterministic thresholds a
+//     single-class attack synchronizes rebuilds on predictable updates —
+//     the cost distribution's tail (p99/max) degrades versus randomized.
+// (b) SIMPLE's rebuild cadence: the paper picks floor(eps^-1/3); sweeping
+//     the period shows the cost minimum near that value (the covering-set
+//     compaction vs rebuild-frequency trade-off).
+// (c) RSUM's block size: the paper picks m ~ log2(eps^-1); smaller blocks
+//     fail the subset-sum window too often (more rebuilds), larger blocks
+//     pay 2^{m/2} decision time for no cost benefit.
+#include "alloc/geo.h"
+#include "alloc/rsum.h"
+#include "alloc/simple.h"
+#include "bench_common.h"
+#include "workload/adversarial.h"
+#include "workload/churn.h"
+#include "workload/random_item.h"
+
+namespace {
+
+using namespace memreal;
+using namespace memreal::bench;
+
+constexpr Tick kCap = Tick{1} << 50;
+
+void ablate_geo_thresholds() {
+  print_header(
+      "T8a — GEO randomized vs deterministic rebuild thresholds",
+      "Lemma 4.4 bounds the probability that any FIXED update pays for a "
+      "rebuild.  The metric is therefore the worst-case expected cost per "
+      "update index (max over indices of the mean over allocator seeds): "
+      "deterministic thresholds make the same indices pay every time.");
+  const double eps = 1.0 / 64;
+  SingleClassAttackConfig w;
+  w.capacity = kCap;
+  w.eps = eps;
+  // Strictly below the huge threshold sqrt(eps)/100 so the class/level
+  // machinery (and its thresholds) is what gets attacked.
+  w.size_fraction = std::sqrt(eps) / 300.0;
+  w.attack_pairs = fast_mode() ? 1'000 : 6'000;
+  w.seed = 99;  // one fixed oblivious sequence
+  const Sequence seq = make_single_class_attack(w);
+  const std::size_t n = seq.updates.size();
+  const std::size_t runs = fast_mode() ? 4 : 12;
+
+  Table t({"thresholds", "mean cost", "max_u E[cost(u)]",
+           "p99_u E[cost(u)]"});
+  for (bool deterministic : {false, true}) {
+    std::vector<double> per_index(n, 0.0);
+    double grand_mean = 0;
+    for (std::uint64_t seed = 1; seed <= runs; ++seed) {
+      ValidationPolicy policy;
+      policy.every_n_updates = 4096;
+      Memory mem(seq.capacity, seq.eps_ticks, policy);
+      GeoConfig gc;
+      gc.eps = eps;
+      gc.seed = seed * 7919;
+      gc.deterministic_thresholds = deterministic;
+      GeoAllocator geo(mem, gc);
+      EngineOptions opts;
+      opts.on_update = [&](std::size_t i, const Update&, double c) {
+        per_index[i] += c;
+      };
+      Engine engine(mem, geo, opts);
+      grand_mean += engine.run(seq.updates).mean_cost();
+    }
+    for (auto& v : per_index) v /= static_cast<double>(runs);
+    Quantiles q;
+    double mx = 0;
+    for (double v : per_index) {
+      q.add(v);
+      mx = std::max(mx, v);
+    }
+    t.add_row({deterministic ? "deterministic (max of range)" : "randomized",
+               Table::num(grand_mean / static_cast<double>(runs), 4),
+               Table::num(mx, 5), Table::num(q.quantile(0.99), 5)});
+  }
+  t.print(std::cout);
+  std::cout << "(same total work; determinism concentrates it on "
+               "predictable updates — the quantity Theorem 4.1 bounds is "
+               "per-update expected cost, which randomization keeps low "
+               "everywhere)\n";
+}
+
+void ablate_simple_period() {
+  print_header("T8b — SIMPLE rebuild cadence",
+               "The paper rebuilds every floor(eps^-1/3) updates; sweeping "
+               "the period shows the trade-off.");
+  const double eps = 1.0 / 512;  // eps^-1/3 = 8
+  const Sequence seq =
+      make_simple_regime(kCap, eps, fast_mode() ? 2'000 : 20'000, 1);
+  Table t({"period", "mean_cost", "rebuilds", "note"});
+  const std::size_t paper = static_cast<std::size_t>(
+      std::floor(std::cbrt(1.0 / eps)));
+  for (std::size_t period : {1ul, 2ul, 4ul, paper, 2 * paper}) {
+    ValidationPolicy policy;
+    policy.every_n_updates = 1024;
+    Memory mem(seq.capacity, seq.eps_ticks, policy);
+    SimpleAllocator alloc(mem, eps);
+    std::string note = period == paper ? "paper's floor(eps^-1/3)" : "";
+    try {
+      alloc.set_rebuild_period(period);
+      Engine engine(mem, alloc);
+      RunStats s = engine.run(seq.updates);
+      t.add_row({std::to_string(period), Table::num(s.mean_cost(), 4),
+                 std::to_string(alloc.rebuilds()), note});
+    } catch (const InvariantViolation&) {
+      // Periods beyond eps^-1/3 overflow the waste budget: the algorithm's
+      // own feasibility frontier.
+      t.add_row({std::to_string(period), "-", "-",
+                 "waste budget exceeded (expected)"});
+    }
+  }
+  t.print(std::cout);
+}
+
+void ablate_rsum_block() {
+  print_header("T8c — RSUM block size m",
+               "The paper uses m = 2*ceil(log2(eps^-1)/2); smaller blocks "
+               "miss the subset window, larger ones pay 2^{m/2} decision "
+               "time.");
+  const double eps = 1.0 / 4096;
+  RandomItemConfig w;
+  w.capacity = kCap;
+  w.eps = eps;
+  w.churn_pairs = fast_mode() ? 1'000 : 6'000;
+  const std::size_t paper =
+      2 * static_cast<std::size_t>(std::ceil(std::log2(1.0 / eps) / 2.0));
+  Table t({"m", "mean_cost", "rebuilds", "decide_us/update", "note"});
+  for (std::size_t m : {4ul, 8ul, paper, 2 * paper}) {
+    StreamingStats mean, decide;
+    std::size_t rebuilds = 0;
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      w.seed = seed;
+      const Sequence seq = make_random_item_sequence(w);
+      ValidationPolicy policy;
+      policy.every_n_updates = 1024;
+      Memory mem(seq.capacity, seq.eps_ticks, policy);
+      RSumConfig rc;
+      rc.eps = eps;
+      rc.seed = seed;
+      rc.block_items = m;
+      RSumAllocator alloc(mem, rc);
+      Engine engine(mem, alloc);
+      RunStats s = engine.run(seq.updates);
+      mean.add(s.mean_cost());
+      decide.add(s.decision_seconds * 1e6 /
+                 static_cast<double>(s.updates));
+      rebuilds += alloc.rebuilds();
+    }
+    t.add_row({std::to_string(m), Table::num(mean.mean(), 4),
+               std::to_string(rebuilds / 3), Table::num(decide.mean(), 4),
+               m == paper ? "paper's 2*ceil(log2(1/eps)/2)" : ""});
+  }
+  t.print(std::cout);
+}
+
+void ablate_discrete_sizes() {
+  print_header(
+      "T8d — structured sizes (the conclusion's extension)",
+      "Section 7 sketches covering-set allocators for few distinct sizes; "
+      "DISCRETE implements it with exact-size pools (zero waste).  Sweep "
+      "the palette size k on [eps, 2eps) churn.");
+  const double eps = 1.0 / 512;
+  const std::size_t updates = fast_mode() ? 2'000 : 15'000;
+  Table t({"k distinct sizes", "discrete", "simple", "folklore-compact"});
+  for (std::size_t k : {1ul, 2ul, 4ul, 8ul, 16ul, 32ul}) {
+    std::vector<std::string> cells{std::to_string(k)};
+    for (const char* name : {"discrete", "simple", "folklore-compact"}) {
+      StreamingStats mean;
+      for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+        DiscreteChurnConfig w;
+        w.capacity = Tick{1} << 50;
+        w.eps = eps;
+        w.distinct_sizes = k;
+        w.churn_updates = updates;
+        w.seed = seed;
+        const Sequence seq = make_discrete_churn(w);
+        ValidationPolicy policy;
+        policy.every_n_updates = 1024;
+        Memory mem(seq.capacity, seq.eps_ticks, policy);
+        AllocatorParams p;
+        p.eps = eps;
+        p.seed = seed;
+        auto alloc = make_allocator(name, mem, p);
+        Engine engine(mem, *alloc);
+        mean.add(engine.run(seq.updates).mean_cost());
+      }
+      cells.push_back(Table::num(mean.mean(), 4));
+    }
+    t.add_row(std::move(cells));
+  }
+  t.print(std::cout);
+  std::cout << "(DISCRETE ~ sqrt(n k): far below SIMPLE's eps^-2/3 for "
+               "small k, converging toward it as the palette grows)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ablate_geo_thresholds();
+  ablate_simple_period();
+  ablate_rsum_block();
+  ablate_discrete_sizes();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Shared scaffolding for the experiment binaries.
+//
+// Each bench binary prints its paper-shaped experiment table(s) first (the
+// reproduction artifact recorded in EXPERIMENTS.md), then runs a small
+// google-benchmark section for wall-clock throughput of the same
+// allocators.  `MEMREAL_FAST=1` in the environment shrinks the sweeps
+// (useful for smoke runs).
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/engine.h"
+#include "harness/experiment.h"
+#include "harness/sweep.h"
+#include "util/table.h"
+
+namespace memreal::bench {
+
+inline bool fast_mode() {
+  const char* v = std::getenv("MEMREAL_FAST");
+  return v != nullptr && v[0] == '1';
+}
+
+inline void print_header(const std::string& id, const std::string& claim) {
+  std::cout << "\n==================================================\n"
+            << id << "\n" << claim << "\n"
+            << "==================================================\n";
+}
+
+inline void print_fit(const std::string& label, const PowerLawFit& fit) {
+  std::cout << label << ": cost ~ (1/eps)^" << Table::num(fit.exponent, 3)
+            << "  (r^2 = " << Table::num(fit.r2, 3) << ")\n";
+}
+
+inline void print_fit(const std::string& label, const LinearFit& fit) {
+  std::cout << label << ": cost ~ " << Table::num(fit.intercept, 3) << " + "
+            << Table::num(fit.slope, 3) << " * log2(1/eps)  (r^2 = "
+            << Table::num(fit.r2, 3) << ")\n";
+}
+
+/// Registers a google-benchmark measuring updates/second of `allocator` on
+/// the sequence produced by `make_seq(eps, seed)`.
+inline void register_throughput(const std::string& name,
+                                const std::string& allocator, double eps,
+                                SequenceFactory make_seq,
+                                double delta = 0.0) {
+  benchmark::RegisterBenchmark(
+      name.c_str(),
+      [allocator, eps, make_seq, delta](benchmark::State& state) {
+        const Sequence seq = make_seq(eps, 1);
+        for (auto _ : state) {
+          ValidationPolicy policy;
+          policy.every_n_updates = 0;
+          Memory mem(seq.capacity, seq.eps_ticks, policy);
+          AllocatorParams params;
+          params.eps = eps;
+          params.delta = delta;
+          params.seed = 1;
+          auto alloc = make_allocator(allocator, mem, params);
+          Engine engine(mem, *alloc);
+          const RunStats stats = engine.run(seq.updates);
+          benchmark::DoNotOptimize(stats.moved_mass);
+          state.counters["mean_cost"] = stats.mean_cost();
+          state.counters["updates"] =
+              static_cast<double>(stats.updates);
+        }
+        state.SetItemsProcessed(
+            static_cast<std::int64_t>(state.iterations() *
+                                      seq.updates.size()));
+      });
+}
+
+}  // namespace memreal::bench

@@ -1,0 +1,89 @@
+// T2 — Theorem 4.1: GEO achieves expected O~(eps^-1/2) for sizes in
+// [eps^5, 1].
+//
+// Shape to reproduce: GEO's fitted cost exponent is clearly sub-linear in
+// 1/eps (around 0.5 + log-slack), versus ~1 for the folklore worst case.
+// Note on constants: GEO's per-update cost carries a C = Theta(eps^-1/2
+// log eps^-1) class-count factor with a sizable constant, so absolute
+// crossover vs first-fit on random workloads lies below the eps reachable
+// with 64-bit tick resolution (eps^5 >= 1 tick); the exponent is the
+// reproducible claim.  See EXPERIMENTS.md.
+#include "bench_common.h"
+#include "workload/churn.h"
+
+namespace {
+
+using namespace memreal;
+using namespace memreal::bench;
+
+// eps^5 resolution requires a large capacity.
+constexpr Tick kCap = Tick{1} << 60;
+
+void run_tables() {
+  const bool fast = fast_mode();
+  const std::size_t updates = fast ? 800 : 8'000;
+  std::vector<double> eps_values{1.0 / 16, 1.0 / 64, 1.0 / 256};
+  if (!fast) eps_values.push_back(1.0 / 1024);
+
+  print_header("T2 — Theorem 4.1 (GEO)",
+               "Claim: sizes in [eps^5, 1] => worst-case expected update "
+               "cost O~(eps^-1/2).");
+
+  SequenceFactory seq = [updates](double eps, std::uint64_t seed) {
+    GeoRegimeConfig c;
+    c.capacity = kCap;
+    c.eps = eps;
+    c.band_ratio = 64;
+    c.huge_fraction = 0.02;
+    c.churn_updates = updates;
+    c.seed = seed;
+    return make_geo_regime(c);
+  };
+
+  ComparisonConfig c;
+  c.allocators = {"folklore-compact", "geo"};
+  c.make_sequence = seq;
+  c.eps_values = eps_values;
+  c.seeds = 3;
+  c.validate_every = 2048;
+  const auto result = run_comparison(c);
+
+  std::cout << "\nMean cost per update (geo regime: log-uniform band below "
+               "the huge threshold, 2% huge):\n";
+  result.cost_table().print(std::cout);
+  result.exponent_table().print(std::cout);
+  for (std::size_t i = 0; i < result.allocators.size(); ++i) {
+    std::cout << "\nDetail: " << result.allocators[i] << "\n";
+    rows_table(result.allocators[i], result.rows[i]).print(std::cout);
+  }
+
+  // Normalized view: cost / (eps^-1/2 * log2^2(1/eps)) should stay roughly
+  // flat if the O~(eps^-1/2) claim holds.
+  std::cout << "\nGEO cost normalized by eps^-1/2 * log2^2(1/eps):\n";
+  for (const auto& r : result.rows[1]) {
+    const double l = std::log2(1.0 / r.eps);
+    const double norm = std::sqrt(1.0 / r.eps) * l * l;
+    std::cout << "  1/eps = " << Table::num(1 / r.eps, 5) << ": "
+              << Table::num(r.mean_cost / norm, 4) << "\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_tables();
+  memreal::bench::register_throughput(
+      "geo_throughput/eps=1/64", "geo", 1.0 / 64,
+      [](double eps, std::uint64_t seed) {
+        memreal::GeoRegimeConfig c;
+        c.capacity = kCap;
+        c.eps = eps;
+        c.band_ratio = 64;
+        c.churn_updates = 2'000;
+        c.seed = seed;
+        return memreal::make_geo_regime(c);
+      });
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

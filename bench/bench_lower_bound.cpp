@@ -1,0 +1,91 @@
+// T4 — Theorem 5.1: the Omega(log eps^-1) lower bound.
+//
+// The two-size sequence S (A = sqrt(eps) + 2eps, B = sqrt(eps)) forces any
+// resizable allocator to pay amortized Omega(log eps^-1).  The certifier
+// replays each runnable allocator on S, tracks the potential Phi from the
+// actual layouts, and reports measured amortized cost against the
+// potential-derived floor.  Shape to reproduce: floor grows linearly in
+// log2(1/eps) and every allocator's measured cost dominates it.
+#include "bench_common.h"
+#include "lb/lower_bound.h"
+#include "lb/potential.h"
+
+namespace {
+
+using namespace memreal;
+using namespace memreal::bench;
+
+constexpr Tick kCap = Tick{1} << 50;
+
+void run_tables() {
+  print_header("T4 — Theorem 5.1 (lower bound)",
+               "Claim: an update sequence with two item sizes forces "
+               "amortized cost >= Omega(log eps^-1) for ANY resizable "
+               "allocator.");
+
+  std::vector<double> eps_values{1.0 / 256, 1.0 / 1024, 1.0 / 4096,
+                                 1.0 / 16384};
+  if (!fast_mode()) eps_values.push_back(1.0 / 65536);
+
+  // folklore-windowed is shown for contrast: it is NOT resizable (it
+  // fragments the whole of [0, 1]), so Theorem 5.1 does not apply to it —
+  // and indeed its cost stays O(1).  The floor binds the resizable ones.
+  const std::vector<std::string> resizable{"folklore-compact", "rsum"};
+
+  Table t({"1/eps", "n", "floor", "folklore-compact", "rsum",
+           "windowed (non-resizable)", "min resizable ratio"});
+  std::vector<double> log_inv, floors;
+  for (double eps : eps_values) {
+    const auto spec = make_lower_bound_spec(kCap, eps);
+    std::vector<std::string> cells{Table::num(1.0 / eps, 6),
+                                   std::to_string(spec.n),
+                                   Table::num(spec.amortized_floor(), 4)};
+    double min_ratio = 1e300;
+    for (const auto& name : resizable) {
+      const CertifiedRun run = run_certified_lower_bound(spec, name);
+      cells.push_back(Table::num(run.measured_amortized_cost, 4));
+      min_ratio = std::min(min_ratio, run.floor_ratio());
+    }
+    const CertifiedRun win =
+        run_certified_lower_bound(spec, "folklore-windowed");
+    cells.push_back(Table::num(win.measured_amortized_cost, 4));
+    cells.push_back(Table::num(min_ratio, 4));
+    t.add_row(std::move(cells));
+    log_inv.push_back(std::log2(1.0 / eps));
+    floors.push_back(spec.amortized_floor());
+  }
+  std::cout << "\nMeasured amortized cost on S vs the certified floor:\n";
+  t.print(std::cout);
+  const LinearFit fit = fit_linear(log_inv, floors);
+  print_fit("certified floor", fit);
+  std::cout << "(floor slope > 0 with r^2 ~ 1 reproduces the "
+               "Omega(log eps^-1) growth; every *resizable* allocator's "
+               "ratio >= 1.  The non-resizable windowed baseline escaping "
+               "the floor at O(1) is itself instructive: resizability is "
+               "exactly what the theorem charges for.)\n";
+
+  // Potential mechanics: conversion gains vs allocator drops.
+  std::cout << "\nPotential mechanics on 1/eps = 4096 "
+               "(folklore-compact):\n";
+  const auto spec = make_lower_bound_spec(kCap, 1.0 / 4096);
+  const CertifiedRun run =
+      run_certified_lower_bound(spec, "folklore-compact");
+  Table m({"metric", "value"});
+  m.add_row({"n", std::to_string(run.n)});
+  m.add_row({"phi final", Table::num(run.phi_final, 5)});
+  m.add_row({"phi conversion gain", Table::num(run.phi_conversion_gain, 5)});
+  m.add_row({"phi allocator drop", Table::num(run.phi_allocator_drop, 5)});
+  m.add_row({"items moved", std::to_string(run.items_moved)});
+  m.add_row({"per-update drop <= moved items",
+             run.potential_inequality_ok ? "yes" : "no"});
+  m.print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_tables();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

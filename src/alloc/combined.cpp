@@ -1,0 +1,75 @@
+#include "alloc/combined.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace memreal {
+
+CombinedAllocator::CombinedAllocator(Memory& mem,
+                                     const CombinedConfig& config)
+    : mem_(&mem) {
+  const double eps = config.eps;
+  MEMREAL_CHECK(eps > 0 && eps < 1);
+  const auto cap_d = static_cast<double>(mem_->capacity());
+  tiny_thr_ = static_cast<Tick>(std::pow(eps, 4.0) * cap_d);
+  // The tiny allocator's memory units are (eps/2)^3 and must hold at least
+  // ~16 items each; at large eps the eps^4 threshold collides with that, so
+  // the split point moves down.  Items in between go to GEO, which accepts
+  // anything down to (eps/2)^5 — both regimes overlap there, and the
+  // asymptotics are unchanged (the clamp is void once eps <= 2^-7).
+  {
+    Tick unit = 1;
+    const auto e3 = std::pow(eps / 2.0, 3.0) * cap_d;
+    while (static_cast<double>(unit) * 2.0 <= e3) unit <<= 1;
+    tiny_thr_ = std::min(tiny_thr_, unit / 16);
+  }
+  half_eps_ticks_ = static_cast<Tick>(eps / 2.0 * cap_d);
+  MEMREAL_CHECK_MSG(tiny_thr_ >= 1, "capacity too small for eps^4 items");
+
+  Rng seeder(config.seed);
+  GeoConfig gc;
+  gc.eps = eps / 2.0;  // "instantiate GEO with eps/2 free space"
+  gc.seed = seeder.next_u64();
+  geo_ = std::make_unique<GeoAllocator>(mem, gc);
+
+  FlexHashConfig fc;
+  fc.eps = eps / 2.0;
+  fc.max_tiny_size = tiny_thr_;  // the Section 4.2 threshold uses eps, not eps/2
+  fc.region_start = half_eps_ticks_;  // L1 = 0 initially
+  fc.seed = seeder.next_u64();
+  flex_ = std::make_unique<FlexHashAllocator>(mem, fc);
+}
+
+void CombinedAllocator::insert(ItemId id, Tick size) {
+  if (size > tiny_thr_) {
+    geo_->insert(id, size);
+    large_mass_ += size;
+    flex_->external_update(size, /*push_right=*/true);
+  } else {
+    flex_->insert(id, size);
+  }
+}
+
+void CombinedAllocator::erase(ItemId id) {
+  const Tick size = mem_->size_of(id);
+  if (size > tiny_thr_) {
+    geo_->erase(id);
+    MEMREAL_CHECK(large_mass_ >= size);
+    large_mass_ -= size;
+    flex_->external_update(size, /*push_right=*/false);
+  } else {
+    flex_->erase(id);
+  }
+}
+
+void CombinedAllocator::check_invariants() const {
+  geo_->check_invariants();
+  flex_->check_invariants();
+  // Region split: FLEXHASH starts exactly at L1 + eps/2.
+  MEMREAL_CHECK_MSG(flex_->region_start() == large_mass_ + half_eps_ticks_,
+                    "FLEXHASH region start out of sync with large mass");
+}
+
+}  // namespace memreal

@@ -1,0 +1,53 @@
+// COMBINED — Corollary 4.10: the headline allocator.
+//
+// Resizable, arbitrary item sizes, worst-case expected update cost
+// O~(eps^-1/2).  Layout:
+//
+//   [0, L1 + eps/2]                 GEO (free-space parameter eps/2),
+//                                   items larger than eps^4
+//   [L1 + eps/2, L1 + L2 + eps]     FLEXHASH (parameter eps/2),
+//                                   items of size <= eps^4
+//
+// where L1/L2 are the live large/tiny masses.  Whenever a large update of
+// size k changes L1, an external update of size k is issued to FLEXHASH in
+// the matching direction; FLEXHASH absorbs it at O(1) expected cost.
+#pragma once
+
+#include <memory>
+
+#include "alloc/flexhash.h"
+#include "alloc/geo.h"
+#include "core/allocator.h"
+#include "mem/memory.h"
+
+namespace memreal {
+
+struct CombinedConfig {
+  double eps = 1.0 / 64;
+  std::uint64_t seed = 0xC0B1;
+};
+
+class CombinedAllocator final : public Allocator {
+ public:
+  CombinedAllocator(Memory& mem, const CombinedConfig& config);
+
+  void insert(ItemId id, Tick size) override;
+  void erase(ItemId id) override;
+  [[nodiscard]] std::string_view name() const override { return "combined"; }
+  void check_invariants() const override;
+
+  [[nodiscard]] Tick tiny_threshold() const { return tiny_thr_; }
+  [[nodiscard]] const GeoAllocator& geo() const { return *geo_; }
+  [[nodiscard]] const FlexHashAllocator& flex() const { return *flex_; }
+  [[nodiscard]] Tick large_mass() const { return large_mass_; }
+
+ private:
+  Memory* mem_;
+  Tick tiny_thr_;  ///< eps^4 * capacity: larger goes to GEO
+  Tick half_eps_ticks_;
+  std::unique_ptr<GeoAllocator> geo_;
+  std::unique_ptr<FlexHashAllocator> flex_;
+  Tick large_mass_ = 0;
+};
+
+}  // namespace memreal

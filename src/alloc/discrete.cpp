@@ -1,0 +1,154 @@
+#include "alloc/discrete.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace memreal {
+
+DiscreteAllocator::DiscreteAllocator(Memory& mem,
+                                     const DiscreteConfig& config)
+    : mem_(&mem), config_(config) {
+  MEMREAL_CHECK(config_.max_distinct_sizes >= 1);
+  period_ = config_.rebuild_period ? config_.rebuild_period : 1;
+}
+
+void DiscreteAllocator::apply_layout(std::size_t from) {
+  Tick off = from == 0 ? 0 : mem_->end_of(order_[from - 1]);
+  for (std::size_t k = from; k < order_.size(); ++k) {
+    mem_->move_to(order_[k], off);
+    pos_[order_[k]] = k;
+    off += mem_->extent_of(order_[k]);
+  }
+}
+
+void DiscreteAllocator::rebuild() {
+  ++rebuilds_;
+  built_once_ = true;
+  updates_since_rebuild_ = 0;
+  // Adaptive period: balance K*R covering-compaction per update against
+  // n/R rebuild mass.
+  if (config_.rebuild_period == 0) {
+    const auto n = static_cast<double>(order_.size());
+    const auto k = static_cast<double>(std::max<std::size_t>(
+        1, live_sizes_.size()));
+    period_ = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::round(std::sqrt(n / k))));
+  } else {
+    period_ = config_.rebuild_period;
+  }
+
+  // Covering set: min(x_s, period) items of each exact size (all equal, so
+  // "smallest" is moot — any representatives work).
+  std::map<Tick, std::size_t> want;
+  for (const auto& [size, count] : live_sizes_) {
+    want[size] = std::min<std::size_t>(count, period_);
+  }
+  std::vector<ItemId> main_part, cover_part;
+  main_part.reserve(order_.size());
+  // Walk right-to-left so the chosen representatives keep their suffix
+  // positions where possible (less movement).
+  for (auto it = order_.rbegin(); it != order_.rend(); ++it) {
+    auto& remaining = want[mem_->size_of(*it)];
+    if (remaining > 0) {
+      --remaining;
+      cover_part.push_back(*it);
+    } else {
+      main_part.push_back(*it);
+    }
+  }
+  std::reverse(main_part.begin(), main_part.end());
+  std::reverse(cover_part.begin(), cover_part.end());
+  covering_begin_ = main_part.size();
+  order_ = std::move(main_part);
+  order_.insert(order_.end(), cover_part.begin(), cover_part.end());
+  apply_layout(0);
+}
+
+void DiscreteAllocator::maybe_rebuild() {
+  if (!built_once_ || updates_since_rebuild_ >= period_) rebuild();
+  ++updates_since_rebuild_;
+}
+
+void DiscreteAllocator::insert(ItemId id, Tick size) {
+  maybe_rebuild();
+  auto [it, fresh] = live_sizes_.emplace(size, 0);
+  if (fresh) {
+    MEMREAL_CHECK_MSG(live_sizes_.size() <= config_.max_distinct_sizes,
+                      "DISCRETE saw more than "
+                          << config_.max_distinct_sizes
+                          << " distinct sizes; use a general allocator");
+  }
+  ++it->second;
+  const Tick off = order_.empty() ? 0 : mem_->end_of(order_.back());
+  mem_->place(id, off, size);
+  pos_[id] = order_.size();
+  order_.push_back(id);  // joins the covering set (suffix)
+}
+
+void DiscreteAllocator::erase(ItemId id) {
+  maybe_rebuild();
+  const auto pit = pos_.find(id);
+  MEMREAL_CHECK_MSG(pit != pos_.end(), "erase of unknown item " << id);
+  const std::size_t p = pit->second;
+  const Tick size = mem_->size_of(id);
+  auto sit = live_sizes_.find(size);
+  MEMREAL_CHECK(sit != live_sizes_.end() && sit->second > 0);
+  if (--sit->second == 0) live_sizes_.erase(sit);
+
+  if (p >= covering_begin_) {
+    // Covering-set delete: remove and compact the covering set.
+    mem_->remove(id);
+    pos_.erase(pit);
+    order_.erase(order_.begin() + static_cast<std::ptrdiff_t>(p));
+    apply_layout(p);
+    return;
+  }
+  // Exact-size swap: any same-size covering item fits perfectly.
+  ItemId partner = kNoItem;
+  std::size_t q = 0;
+  for (std::size_t k = covering_begin_; k < order_.size(); ++k) {
+    if (mem_->size_of(order_[k]) == size) {
+      partner = order_[k];
+      q = k;
+      break;
+    }
+  }
+  MEMREAL_CHECK_MSG(partner != kNoItem,
+                    "covering pool exhausted for size " << size
+                        << " (SIMPLE-style invariant violated)");
+  const Tick slot = mem_->offset_of(id);
+  mem_->remove(id);
+  pos_.erase(pit);
+  mem_->move_to(partner, slot);
+  order_[p] = partner;
+  pos_[partner] = p;
+  order_.erase(order_.begin() + static_cast<std::ptrdiff_t>(q));
+  apply_layout(q);  // compact the covering set
+}
+
+void DiscreteAllocator::check_invariants() const {
+  MEMREAL_CHECK(order_.size() == mem_->item_count());
+  MEMREAL_CHECK(covering_begin_ <= order_.size());
+  Tick off = 0;
+  std::map<Tick, std::size_t> counts;
+  for (std::size_t k = 0; k < order_.size(); ++k) {
+    const ItemId id = order_[k];
+    // Zero waste: perfectly contiguous, extents never inflated.
+    MEMREAL_CHECK_MSG(mem_->offset_of(id) == off, "layout not contiguous");
+    MEMREAL_CHECK(mem_->extent_of(id) == mem_->size_of(id));
+    MEMREAL_CHECK(pos_.at(id) == k);
+    ++counts[mem_->size_of(id)];
+    off += mem_->size_of(id);
+  }
+  MEMREAL_CHECK_MSG(counts.size() == live_sizes_.size(),
+                    "distinct-size accounting drift");
+  for (const auto& [size, count] : counts) {
+    MEMREAL_CHECK(live_sizes_.at(size) == count);
+  }
+  // Perfect contiguity implies span == live mass: stronger than resizable.
+  MEMREAL_CHECK(mem_->span_end() == mem_->live_mass());
+}
+
+}  // namespace memreal

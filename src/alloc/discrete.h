@@ -1,0 +1,79 @@
+// DISCRETE — the "structured sizes" extension sketched in the paper's
+// conclusion (Section 7):
+//
+//   "Using similar techniques to the covering sets introduced in this
+//    paper one can see that there are efficient allocators for sets of
+//    items with few distinct sizes and where all sizes are fairly
+//    similar."
+//
+// When the update stream uses only K distinct sizes, covering-set swaps
+// can be *exact*: a deleted item is replaced by a covering item of the
+// same exact size, so no logical inflation and zero waste ever — the
+// layout is perfectly contiguous at all times and the allocator is
+// trivially resizable.  The SIMPLE skeleton carries over with per-exact-
+// size pools instead of eps^{4/3}-wide classes:
+//
+//  * covering set = suffix holding min(x_s, R) items of each live size s
+//    (plus everything inserted since the last rebuild);
+//  * a delete outside the covering set swaps in a same-size covering item
+//    (exact fit) and compacts the covering set;
+//  * every R updates, rebuild.  R adapts to sqrt(n / K) at each rebuild,
+//    balancing covering-compaction cost (~K R s_max / s) against rebuild
+//    cost (~n / R): amortized ~ sqrt(n K) * (s_max / s_min) per update —
+//    for K = O(1) this is O(sqrt(eps^-1)) on [eps, 2eps) workloads,
+//    between SIMPLE's eps^-2/3 and the stochastic O(log) bound.
+#pragma once
+
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "core/allocator.h"
+#include "mem/memory.h"
+
+namespace memreal {
+
+struct DiscreteConfig {
+  /// Hard cap on distinct live sizes (inserting a (cap+1)-th distinct size
+  /// throws).  Guards against using DISCRETE outside its regime.
+  std::size_t max_distinct_sizes = 64;
+  /// Fixed rebuild period; 0 = adaptive sqrt(n / K) (re-chosen at every
+  /// rebuild).
+  std::size_t rebuild_period = 0;
+};
+
+class DiscreteAllocator final : public Allocator {
+ public:
+  DiscreteAllocator(Memory& mem, const DiscreteConfig& config = {});
+
+  void insert(ItemId id, Tick size) override;
+  void erase(ItemId id) override;
+  [[nodiscard]] std::string_view name() const override { return "discrete"; }
+  void check_invariants() const override;
+
+  [[nodiscard]] std::size_t distinct_sizes() const { return live_sizes_.size(); }
+  [[nodiscard]] std::size_t rebuilds() const { return rebuilds_; }
+  [[nodiscard]] std::size_t current_period() const { return period_; }
+  [[nodiscard]] std::size_t covering_size() const {
+    return order_.size() - covering_begin_;
+  }
+
+ private:
+  void rebuild();
+  void maybe_rebuild();
+  void apply_layout(std::size_t from);
+
+  Memory* mem_;
+  DiscreteConfig config_;
+
+  std::vector<ItemId> order_;  ///< left-to-right; covering set is a suffix
+  std::size_t covering_begin_ = 0;
+  std::unordered_map<ItemId, std::size_t> pos_;
+  std::map<Tick, std::size_t> live_sizes_;  ///< size -> live count
+  std::size_t period_ = 1;
+  std::size_t updates_since_rebuild_ = 0;
+  bool built_once_ = false;
+  std::size_t rebuilds_ = 0;
+};
+
+}  // namespace memreal

@@ -1,0 +1,450 @@
+#include "alloc/geo.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/thresholds.h"
+
+namespace memreal {
+
+GeoAllocator::GeoAllocator(Memory& mem, const GeoConfig& config)
+    : mem_(&mem),
+      eps_(config.eps),
+      rng_(config.seed),
+      deterministic_(config.deterministic_thresholds) {
+  MEMREAL_CHECK(eps_ > 0 && eps_ < 0.5);
+  cap_ = mem_->capacity();
+  const auto cap_d = static_cast<double>(cap_);
+  // GEO's free-space parameter comes from its own config: Corollary 4.10
+  // instantiates GEO with eps/2 inside a memory whose global parameter is
+  // eps.  Standalone uses the full eps.
+  eps_t_ = static_cast<Tick>(eps_ * cap_d);
+  MEMREAL_CHECK(eps_t_ > 1);
+
+  const double e5_d = std::pow(eps_, 5.0) * cap_d;
+  e5_ = std::max<Tick>(1, static_cast<Tick>(e5_d));
+  huge_thr_ = std::max<Tick>(
+      e5_ + 1, static_cast<Tick>(std::sqrt(eps_) / 100.0 * cap_d));
+  MEMREAL_CHECK_MSG(
+      static_cast<double>(e5_) * std::sqrt(eps_) >= 1.0,
+      "capacity too small for eps: class boundaries would collapse; "
+      "increase Memory capacity");
+
+  // Geometric size-class boundaries: lo_0 = eps^5, hi_c = lo_c * beta.
+  const double beta = 1.0 + std::sqrt(eps_);
+  double lo = static_cast<double>(e5_);
+  while (true) {
+    const auto lo_t = static_cast<Tick>(lo);
+    auto hi_t = static_cast<Tick>(lo * beta);
+    if (hi_t <= lo_t) hi_t = lo_t + 1;
+    class_lo_.push_back(lo_t);
+    class_hi_.push_back(hi_t);
+    if (hi_t >= huge_thr_) break;
+    lo = lo * beta;
+    MEMREAL_CHECK_MSG(class_lo_.size() < 1u << 22, "class explosion");
+  }
+  // The last class absorbs everything up to the huge threshold.
+  class_hi_.back() = std::max(class_hi_.back(), huge_thr_);
+
+  // Levels: ell = ceil(4.5 log2(eps^-1)); m_j = 2^{ell-j+1} * eps^5.
+  ell_ = static_cast<int>(std::ceil(4.5 * std::log2(1.0 / eps_)));
+  MEMREAL_CHECK(ell_ >= 1);
+  m_.assign(static_cast<std::size_t>(ell_) + 1, 0);
+  m_[0] = cap_;
+  for (int j = 1; j <= ell_; ++j) {
+    const int shift = ell_ - j + 1;
+    MEMREAL_CHECK(shift < 62);
+    m_[static_cast<std::size_t>(j)] = e5_ << shift;
+  }
+  // Every non-huge item must fit in level 1: m_1 >= 2 * max class bound.
+  MEMREAL_CHECK_MSG(m_[1] >= 2 * class_hi_.back(),
+                    "level-1 mass limit below the largest non-huge class");
+
+  // c_{i,j} = floor(m_j / b_i); j* = deepest level with c >= 1.
+  const std::size_t classes = class_lo_.size();
+  c_.assign(classes, std::vector<std::uint64_t>(
+                         static_cast<std::size_t>(ell_) + 1, 0));
+  jstar_.assign(classes, 1);
+  for (std::size_t i = 0; i < classes; ++i) {
+    c_[i][0] = ~std::uint64_t{0};  // level 0 is all of memory: no limit
+    for (int j = 1; j <= ell_; ++j) {
+      c_[i][static_cast<std::size_t>(j)] =
+          m_[static_cast<std::size_t>(j)] / class_hi_[i];
+      if (c_[i][static_cast<std::size_t>(j)] >= 1) jstar_[i] = j;
+    }
+    MEMREAL_CHECK(c_[i][1] >= 1);
+  }
+
+  // Counters and randomized thresholds, all "freshly freely rebuilt".
+  ins_count_.assign(classes, std::vector<std::uint64_t>(
+                                 static_cast<std::size_t>(ell_) + 1, 0));
+  del_count_ = ins_count_;
+  ins_thr_.assign(classes, std::vector<std::uint64_t>(
+                               static_cast<std::size_t>(ell_) + 1, 1));
+  del_thr_ = ins_thr_;
+  for (std::size_t i = 0; i < classes; ++i) {
+    for (int j = 1; j <= jstar_[i]; ++j) {
+      ins_thr_[i][static_cast<std::size_t>(j)] =
+          sample_threshold(c_[i][static_cast<std::size_t>(j)]);
+      del_thr_[i][static_cast<std::size_t>(j)] =
+          sample_threshold(c_[i][static_cast<std::size_t>(j)]);
+    }
+  }
+
+  class_items_.assign(classes, ClassSet{});
+  waste_thr_ = rng_.next_tick_in(eps_t_ / 2, eps_t_);
+}
+
+std::uint64_t GeoAllocator::sample_threshold(std::uint64_t c) {
+  MEMREAL_CHECK(c >= 1);
+  const std::uint64_t lo = ceil_div(c, 4);
+  const std::uint64_t hi = ceil_div(c, 3);
+  if (deterministic_) return hi;
+  return rng_.next_in(lo, hi);
+}
+
+std::size_t GeoAllocator::class_of_size(Tick size) const {
+  MEMREAL_CHECK_MSG(size >= class_lo_.front(), "size below eps^5");
+  MEMREAL_CHECK_MSG(size < huge_thr_, "class_of_size on a huge item");
+  auto it = std::upper_bound(class_lo_.begin(), class_lo_.end(), size);
+  auto idx = static_cast<std::size_t>(it - class_lo_.begin()) - 1;
+  // Collapsed boundaries (equal class_lo values) resolve to the last one.
+  MEMREAL_CHECK(size >= class_lo_[idx] && size < class_hi_[idx]);
+  return idx;
+}
+
+void GeoAllocator::apply_layout(std::size_t from) {
+  Tick off = from == 0 ? 0 : mem_->end_of(order_[from - 1]);
+  for (std::size_t k = from; k < order_.size(); ++k) {
+    const ItemId id = order_[k];
+    mem_->move_to(id, off);
+    info_[id].pos = k;
+    off += mem_->extent_of(id);
+  }
+}
+
+std::size_t GeoAllocator::suffix_start_for_label(int label) const {
+  // order_ is sorted by label (huge = -1 first).  Binary search for the
+  // first index whose label >= label.
+  std::size_t lo = 0;
+  std::size_t hi = order_.size();
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (info_.at(order_[mid]).label < label) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+std::size_t GeoAllocator::level_item_count(int j) const {
+  return order_.size() - suffix_start_for_label(j);
+}
+
+void GeoAllocator::rebuild_level(int j0) {
+  MEMREAL_CHECK(j0 >= 1 && j0 <= ell_);
+  ++level_rebuilds_;
+  // We rearrange level j0-1 (labels >= j0-1).
+  const std::size_t ss = suffix_start_for_label(j0 - 1);
+
+  // New labels.  For each class, walk its items in ascending logical size:
+  // the item of rank k belongs to I_j for every j with k < c_{i,j}; its new
+  // label is the deepest such j >= j0 (or j0-1 if none).  Lemma 4.2
+  // guarantees the c_{i,j0} smallest live inside the rearranged suffix —
+  // with one implementation caveat: repeated swap-inflation creates exact
+  // logical-size *ties*, and among tied items only enough of them need to
+  // be inside the suffix.  Selection therefore prefers suffix members among
+  // ties; a strictly smaller item outside the suffix is a genuine
+  // violation.
+  std::unordered_map<ItemId, int> new_label;
+  new_label.reserve(order_.size() - ss);
+  for (std::size_t i = 0; i < class_lo_.size(); ++i) {
+    const ClassSet& set = class_items_[i];
+    if (set.empty()) continue;
+    const std::uint64_t take = c_[i][static_cast<std::size_t>(j0)];
+    if (take == 0) continue;
+    // Candidates: the `take` smallest plus everything tied with the last.
+    std::vector<std::pair<Tick, ItemId>> cand;
+    auto it = set.begin();
+    for (std::uint64_t k = 0; k < take && it != set.end(); ++k, ++it) {
+      cand.push_back(*it);
+    }
+    const Tick cutoff = cand.back().first;
+    while (it != set.end() && it->first == cutoff) {
+      cand.push_back(*it);
+      ++it;
+    }
+    std::stable_sort(cand.begin(), cand.end(),
+                     [&](const std::pair<Tick, ItemId>& a,
+                         const std::pair<Tick, ItemId>& b) {
+                       if (a.first != b.first) return a.first < b.first;
+                       const bool sa = info_.at(a.second).label >= j0 - 1;
+                       const bool sb = info_.at(b.second).label >= j0 - 1;
+                       return sa && !sb;
+                     });
+    std::uint64_t rank = 0;
+    for (const auto& [sz, id] : cand) {
+      if (rank >= take) break;
+      int lbl = j0 - 1;
+      for (int j = jstar_[i]; j >= j0; --j) {
+        if (rank < c_[i][static_cast<std::size_t>(j)]) {
+          lbl = j;
+          break;
+        }
+      }
+      MEMREAL_CHECK_MSG(info_.at(id).label >= j0 - 1,
+                        "Lemma 4.2 violated: I_j member outside level j0-1");
+      new_label.emplace(id, lbl);
+      ++rank;
+    }
+  }
+  // Everything else in the suffix falls back to label j0-1.
+  for (std::size_t k = ss; k < order_.size(); ++k) {
+    const ItemId id = order_[k];
+    auto it = new_label.find(id);
+    info_[id].label = it == new_label.end() ? j0 - 1 : it->second;
+  }
+  // Stable sort the suffix by new label (I_j to the right of its
+  // complement, for every j >= j0).
+  std::stable_sort(order_.begin() + static_cast<std::ptrdiff_t>(ss),
+                   order_.end(), [&](ItemId a, ItemId b) {
+                     return info_.at(a).label < info_.at(b).label;
+                   });
+  apply_layout(ss);
+}
+
+void GeoAllocator::bump_counters_and_rebuild(std::size_t cls,
+                                             bool is_insert) {
+  auto& count = is_insert ? ins_count_[cls] : del_count_[cls];
+  auto& thr = is_insert ? ins_thr_[cls] : del_thr_[cls];
+  const int js = jstar_[cls];
+  int j0 = 0;
+  for (int j = 1; j <= js; ++j) {
+    ++count[static_cast<std::size_t>(j)];
+  }
+  for (int j = 1; j <= js; ++j) {
+    if (count[static_cast<std::size_t>(j)] >=
+        thr[static_cast<std::size_t>(j)]) {
+      j0 = j;
+      break;
+    }
+  }
+  // The deepest level's threshold range is [1, 1], so some level fires on
+  // every update of this class.
+  MEMREAL_CHECK_MSG(j0 >= 1, "no level fired; threshold state corrupt");
+  rebuild_level(j0);
+  // J = all levels whose counter crossed; they are freely rebuilt.
+  for (int j = j0; j <= js; ++j) {
+    if (count[static_cast<std::size_t>(j)] >=
+        thr[static_cast<std::size_t>(j)]) {
+      count[static_cast<std::size_t>(j)] = 0;
+      thr[static_cast<std::size_t>(j)] =
+          sample_threshold(c_[cls][static_cast<std::size_t>(j)]);
+    }
+  }
+}
+
+void GeoAllocator::waste_recovery() {
+  ++waste_recoveries_;
+  // Revert all logical inflation, compact everything, rebuild level 1.
+  for (auto& [id, inf] : info_) {
+    if (inf.label < 0) continue;
+    const Tick ext = mem_->extent_of(id);
+    const Tick sz = mem_->size_of(id);
+    if (ext != sz) {
+      auto& set = class_items_[inf.cls];
+      set.erase({ext, id});
+      mem_->reset_extent(id);
+      set.insert({sz, id});
+    }
+  }
+  apply_layout(0);
+  rebuild_level(1);
+  // waste_acc_ already holds the overflow W - T (see erase()).
+  waste_thr_ = rng_.next_tick_in(eps_t_ / 2, eps_t_);
+}
+
+void GeoAllocator::insert(ItemId id, Tick size) {
+  MEMREAL_CHECK_MSG(info_.find(id) == info_.end(), "duplicate id " << id);
+  if (size >= huge_thr_) {
+    // Huge item: append to the huge prefix; everything after shifts right.
+    // Cost <= L / size <= O(eps^-1/2).
+    order_.insert(order_.begin() + static_cast<std::ptrdiff_t>(huge_count_),
+                  id);
+    info_[id] = Info{-1, 0, huge_count_};
+    const Tick off =
+        huge_count_ == 0 ? 0 : mem_->end_of(order_[huge_count_ - 1]);
+    mem_->place(id, off, size);
+    ++huge_count_;
+    apply_layout(huge_count_);
+    return;
+  }
+
+  const std::size_t cls = class_of_size(size);
+  // Place immediately after the final item (Algorithm 3), label ell.
+  const Tick off = order_.empty() ? 0 : mem_->end_of(order_.back());
+  mem_->place(id, off, size);
+  info_[id] = Info{ell_, cls, order_.size()};
+  order_.push_back(id);
+  class_items_[cls].insert({size, id});
+
+  bump_counters_and_rebuild(cls, /*is_insert=*/true);
+}
+
+void GeoAllocator::erase(ItemId id) {
+  auto iit = info_.find(id);
+  MEMREAL_CHECK_MSG(iit != info_.end(), "erase of unknown item " << id);
+  const Info inf = iit->second;
+
+  if (inf.label < 0) {
+    // Huge delete: remove and close the hole (compacts huge prefix and
+    // shifts the rest left).  Cost <= L / size <= O(eps^-1/2).
+    mem_->remove(id);
+    order_.erase(order_.begin() + static_cast<std::ptrdiff_t>(inf.pos));
+    info_.erase(iit);
+    --huge_count_;
+    apply_layout(inf.pos);
+    return;
+  }
+
+  const std::size_t cls = inf.cls;
+  const int js = jstar_[cls];
+  bool swapped = false;
+  Tick swap_waste = 0;
+  std::size_t hole_pos;
+
+  if (inf.label < js) {
+    // Swap in the smallest class item I' (Algorithm 4 lines 5-8); the
+    // invariants guarantee one of minimum logical size lives in level j*
+    // (ties are resolved toward the deep copy).
+    auto& set = class_items_[cls];
+    MEMREAL_CHECK(!set.empty());
+    auto first = set.begin();
+    const Tick min_size = first->first;
+    ItemId other = kNoItem;
+    for (auto sit = first; sit != set.end() && sit->first == min_size;
+         ++sit) {
+      if (sit->second == id) continue;
+      if (info_.at(sit->second).label >= js) {
+        other = sit->second;
+        break;
+      }
+    }
+    MEMREAL_CHECK_MSG(other != kNoItem,
+                      "invariant violated: no class minimum in level j*");
+    const Info& oinf = info_.at(other);
+    const Tick my_extent = mem_->extent_of(id);
+    MEMREAL_CHECK_MSG(mem_->extent_of(other) <= my_extent,
+                      "swap candidate larger than deleted item");
+
+    const std::size_t p = inf.pos;
+    const std::size_t q = oinf.pos;
+    MEMREAL_CHECK(q > p);
+    const Tick slot = mem_->offset_of(id);
+    mem_->remove(id);
+    info_.erase(iit);
+    set.erase({my_extent, id});           // the deleted item leaves its class
+    set.erase({mem_->extent_of(other), other});  // I' re-keyed below
+    set.insert({my_extent, other});
+    mem_->move_to(other, slot);
+    mem_->set_extent(other, my_extent);
+    info_[other].label = inf.label;  // I' inherits I's level
+    info_[other].pos = p;
+    order_[p] = other;
+    order_.erase(order_.begin() + static_cast<std::ptrdiff_t>(q));
+    hole_pos = q;
+    swapped = true;
+    // Waste bound: class width (exact intra-class extent difference).
+    swap_waste = class_hi_[cls] - class_lo_[cls];
+  } else {
+    // Delete inside level j*: just remove.
+    class_items_[cls].erase({mem_->extent_of(id), id});
+    mem_->remove(id);
+    hole_pos = inf.pos;
+    order_.erase(order_.begin() + static_cast<std::ptrdiff_t>(inf.pos));
+    info_.erase(iit);
+    swapped = false;
+  }
+  // Compact level j* (and anything to its right) — closes the hole.
+  apply_layout(hole_pos);
+
+  bump_counters_and_rebuild(cls, /*is_insert=*/false);
+
+  if (swapped) {
+    waste_acc_ += swap_waste;
+    if (waste_acc_ >= waste_thr_) {
+      waste_acc_ -= waste_thr_;  // overflow carries (paper: waste = W - T)
+      waste_recovery();
+    }
+  }
+}
+
+void GeoAllocator::check_invariants() const {
+  MEMREAL_CHECK(order_.size() == info_.size());
+  // Layout: contiguous extents, labels ascending, pos correct.
+  Tick off = 0;
+  int prev_label = -1;
+  for (std::size_t k = 0; k < order_.size(); ++k) {
+    const ItemId id = order_[k];
+    const Info& inf = info_.at(id);
+    MEMREAL_CHECK_MSG(mem_->offset_of(id) == off, "layout not contiguous");
+    MEMREAL_CHECK(inf.pos == k);
+    MEMREAL_CHECK_MSG(inf.label >= prev_label, "labels out of order");
+    prev_label = inf.label;
+    off += mem_->extent_of(id);
+  }
+  // Waste: total inflation across GEO's own items stays below eps.  (Under
+  // the combined allocator, other items share the Memory.)
+  Tick waste = 0;
+  for (const auto& [id, inf] : info_) {
+    waste += mem_->extent_of(id) - mem_->size_of(id);
+  }
+  MEMREAL_CHECK_MSG(waste <= eps_t_, "inflation waste above eps");
+  // Level-size invariant: per class and level j, at most 2*c_{i,j} items
+  // with label >= j (and none beyond j*).
+  const std::size_t classes = class_lo_.size();
+  std::vector<std::vector<std::uint64_t>> cnt(
+      classes,
+      std::vector<std::uint64_t>(static_cast<std::size_t>(ell_) + 1, 0));
+  for (const auto& [id, inf] : info_) {
+    if (inf.label < 0) continue;
+    cnt[inf.cls][static_cast<std::size_t>(inf.label)] += 1;
+  }
+  for (std::size_t i = 0; i < classes; ++i) {
+    std::uint64_t suffix = 0;
+    for (int j = ell_; j >= 1; --j) {
+      suffix += cnt[i][static_cast<std::size_t>(j)];
+      MEMREAL_CHECK_MSG(
+          suffix <= 2 * c_[i][static_cast<std::size_t>(j)],
+          "level-size invariant violated: class " << i << " level " << j
+                                                  << " has " << suffix);
+    }
+  }
+  // Some item of minimum logical size of every inhabited class sits in
+  // level j* (needed for deletions to be well-defined; ties may leave
+  // equal-size copies in shallower levels).
+  for (std::size_t i = 0; i < classes; ++i) {
+    if (class_items_[i].empty()) continue;
+    const Tick min_size = class_items_[i].begin()->first;
+    bool deep = false;
+    for (auto it = class_items_[i].begin();
+         it != class_items_[i].end() && it->first == min_size; ++it) {
+      if (info_.at(it->second).label >= jstar_[i]) {
+        deep = true;
+        break;
+      }
+    }
+    MEMREAL_CHECK_MSG(deep, "class minimum escaped level j*");
+  }
+  // Class sets keyed by current logical size.
+  for (std::size_t i = 0; i < classes; ++i) {
+    for (const auto& [key, id] : class_items_[i]) {
+      MEMREAL_CHECK(mem_->extent_of(id) == key);
+    }
+  }
+}
+
+}  // namespace memreal

@@ -1,0 +1,91 @@
+#include "alloc/registry.h"
+
+#include "alloc/combined.h"
+#include "alloc/discrete.h"
+#include "alloc/flexhash.h"
+#include "alloc/folklore.h"
+#include "alloc/geo.h"
+#include "alloc/rsum.h"
+#include "alloc/simple.h"
+#include "alloc/tinyslab.h"
+#include "util/check.h"
+
+namespace memreal {
+
+AllocatorFactory allocator_factory(const std::string& name) {
+  if (name == "folklore-compact") {
+    return [](Memory& mem, const AllocatorParams&) {
+      return std::make_unique<FolkloreCompact>(mem);
+    };
+  }
+  if (name == "folklore-windowed") {
+    return [](Memory& mem, const AllocatorParams&) {
+      return std::make_unique<FolkloreWindowed>(mem);
+    };
+  }
+  if (name == "simple") {
+    return [](Memory& mem, const AllocatorParams& p) {
+      return std::make_unique<SimpleAllocator>(mem, p.eps);
+    };
+  }
+  if (name == "geo") {
+    return [](Memory& mem, const AllocatorParams& p) {
+      GeoConfig c;
+      c.eps = p.eps;
+      c.seed = p.seed;
+      return std::make_unique<GeoAllocator>(mem, c);
+    };
+  }
+  if (name == "tinyslab") {
+    return [](Memory& mem, const AllocatorParams& p) {
+      TinySlabConfig c;
+      c.eps = p.eps;
+      c.seed = p.seed;
+      return std::make_unique<TinySlabAllocator>(mem, c);
+    };
+  }
+  if (name == "flexhash") {
+    return [](Memory& mem, const AllocatorParams& p) {
+      FlexHashConfig c;
+      c.eps = p.eps;
+      c.seed = p.seed;
+      return std::make_unique<FlexHashAllocator>(mem, c);
+    };
+  }
+  if (name == "combined") {
+    return [](Memory& mem, const AllocatorParams& p) {
+      CombinedConfig c;
+      c.eps = p.eps;
+      c.seed = p.seed;
+      return std::make_unique<CombinedAllocator>(mem, c);
+    };
+  }
+  if (name == "discrete") {
+    return [](Memory& mem, const AllocatorParams&) {
+      return std::make_unique<DiscreteAllocator>(mem);
+    };
+  }
+  if (name == "rsum") {
+    return [](Memory& mem, const AllocatorParams& p) {
+      RSumConfig c;
+      c.eps = p.eps;
+      c.delta = p.delta;
+      c.seed = p.seed;
+      return std::make_unique<RSumAllocator>(mem, c);
+    };
+  }
+  MEMREAL_CHECK_MSG(false, "unknown allocator '" << name << "'");
+}
+
+std::vector<std::string> allocator_names() {
+  return {"folklore-compact", "folklore-windowed", "simple", "geo",
+          "tinyslab", "flexhash", "combined", "rsum", "discrete"};
+}
+
+std::unique_ptr<Allocator> make_allocator(const std::string& name,
+                                          Memory& mem,
+                                          const AllocatorParams& params) {
+  return allocator_factory(name)(mem, params);
+}
+
+}  // namespace memreal

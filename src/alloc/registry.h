@@ -1,0 +1,37 @@
+// A name-keyed factory over all allocators, used by the harness, benches
+// and the allocator_race example.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/allocator.h"
+#include "mem/memory.h"
+
+namespace memreal {
+
+/// Everything an allocator needs to instantiate itself for a run.
+struct AllocatorParams {
+  double eps = 1.0 / 64;
+  double delta = 0.0;  ///< RSUM only; 0 = eps^{3/4}
+  std::uint64_t seed = 1;
+};
+
+using AllocatorFactory =
+    std::function<std::unique_ptr<Allocator>(Memory&, const AllocatorParams&)>;
+
+/// Returns the factory for `name`; throws InvariantViolation for unknown
+/// names.  Known names: folklore-compact, folklore-windowed, simple, geo,
+/// tinyslab, flexhash, combined, rsum.
+[[nodiscard]] AllocatorFactory allocator_factory(const std::string& name);
+
+/// All registered allocator names.
+[[nodiscard]] std::vector<std::string> allocator_names();
+
+/// Convenience: construct by name.
+[[nodiscard]] std::unique_ptr<Allocator> make_allocator(
+    const std::string& name, Memory& mem, const AllocatorParams& params);
+
+}  // namespace memreal

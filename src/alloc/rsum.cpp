@@ -1,0 +1,691 @@
+#include "alloc/rsum.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "subsetsum/subsetsum.h"
+#include "util/check.h"
+#include "util/thresholds.h"
+
+namespace memreal {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+}
+
+RSumAllocator::RSumAllocator(Memory& mem, const RSumConfig& config)
+    : mem_(&mem), rng_(config.seed), eps_(config.eps) {
+  MEMREAL_CHECK(eps_ > 0 && eps_ < 0.5);
+  delta_ = config.delta == 0.0 ? std::pow(eps_, 0.75) : config.delta;
+  MEMREAL_CHECK(delta_ > 0 && delta_ < 0.25);
+  cap_ = mem_->capacity();
+  const auto cap_d = static_cast<double>(cap_);
+
+  delta_lo_ = static_cast<Tick>(delta_ * cap_d);
+  delta_hi_ = static_cast<Tick>(2.0 * delta_ * cap_d);
+  MEMREAL_CHECK(delta_lo_ >= 1);
+
+  const double log_inv_eps = std::log2(1.0 / eps_);
+  m_ = config.block_items
+           ? config.block_items
+           : 2 * static_cast<std::size_t>(std::ceil(log_inv_eps / 2.0));
+  MEMREAL_CHECK(m_ >= 2);
+  MEMREAL_CHECK_MSG(m_ <= 40, "block size too large for subset-sum search");
+
+  g_ = std::max<Tick>(
+      1, static_cast<Tick>(eps_ * delta_ * log_inv_eps * cap_d));
+  buffer_cap_ = static_cast<Tick>(eps_ / 2.0 * cap_d);
+  big_delta_ = delta_ > eps_ / 4.0;
+
+  const double target = 0.75 * static_cast<double>(m_) * delta_ * cap_d;
+  const auto d_ticks = static_cast<double>(delta_lo_);
+  y_target_lo_ = static_cast<Tick>(target - d_ticks);
+  y_target_hi_ = static_cast<Tick>(target + d_ticks);
+  MEMREAL_CHECK(y_target_lo_ >= delta_hi_);
+
+  resample_r();
+}
+
+void RSumAllocator::resample_r() {
+  const double inv = 1.0 / delta_;
+  const auto md = static_cast<double>(m_);
+  const auto lo =
+      std::max<std::uint64_t>(1, static_cast<std::uint64_t>(inv / (8 * md)));
+  const auto hi = std::max<std::uint64_t>(
+      lo, static_cast<std::uint64_t>(inv / (6 * md)));
+  r_ = rng_.next_in(lo, hi);
+}
+
+// ---------------------------------------------------------------------------
+// Layout helpers
+// ---------------------------------------------------------------------------
+
+void RSumAllocator::move_item(ItemId id, Tick offset) {
+  const Tick old = mem_->offset_of(id);
+  if (old == offset) return;
+  auto oit = by_offset_.find(old);
+  MEMREAL_CHECK(oit != by_offset_.end() && oit->second == id);
+  by_offset_.erase(oit);
+  mem_->move_to(id, offset);
+  MEMREAL_CHECK_MSG(by_offset_.emplace(offset, id).second,
+                    "offset collision while moving item " << id);
+}
+
+void RSumAllocator::place_new(ItemId id, Tick offset, Tick size) {
+  mem_->place(id, offset, size);
+  MEMREAL_CHECK_MSG(by_offset_.emplace(offset, id).second,
+                    "offset collision while placing item " << id);
+}
+
+void RSumAllocator::remove_item(ItemId id) {
+  auto oit = by_offset_.find(mem_->offset_of(id));
+  MEMREAL_CHECK(oit != by_offset_.end() && oit->second == id);
+  by_offset_.erase(oit);
+  mem_->remove(id);
+  loc_.erase(id);
+}
+
+void RSumAllocator::apply_moves(
+    const std::vector<std::pair<ItemId, Tick>>& moves) {
+  // Batched rearrangement: clear all movers' index entries first so that
+  // transient key collisions between movers cannot corrupt the index.
+  for (const auto& [id, off] : moves) {
+    auto it = by_offset_.find(mem_->offset_of(id));
+    MEMREAL_CHECK(it != by_offset_.end() && it->second == id);
+    by_offset_.erase(it);
+  }
+  for (const auto& [id, off] : moves) {
+    mem_->move_to(id, off);
+    auto [pos, ok] = by_offset_.emplace(off, id);
+    MEMREAL_CHECK_MSG(ok, "mover " << id << " landed at " << off
+                                   << " on stationary item " << pos->second);
+  }
+}
+
+Tick RSumAllocator::span_end() const {
+  if (by_offset_.empty()) return 0;
+  const auto& [off, id] = *by_offset_.rbegin();
+  return off + mem_->size_of(id);
+}
+
+bool RSumAllocator::trash_empty() const {
+  if (by_offset_.empty()) return true;
+  return by_offset_.lower_bound(trash_start_) == by_offset_.end();
+}
+
+Tick RSumAllocator::main_end() const {
+  auto it = by_offset_.lower_bound(trash_start_);
+  if (it == by_offset_.begin()) return 0;
+  --it;
+  return it->first + mem_->size_of(it->second);
+}
+
+Tick RSumAllocator::buffer_gap() const {
+  if (trash_empty()) return 0;
+  const Tick me = main_end();
+  MEMREAL_CHECK_MSG(trash_start_ >= me,
+                    "main body runs past the trash boundary: main_end "
+                        << me << " > trash_start " << trash_start_
+                        << " (last main item "
+                        << std::prev(by_offset_.lower_bound(trash_start_))
+                               ->second
+                        << ")");
+  return trash_start_ - me;
+}
+
+// ---------------------------------------------------------------------------
+// Updates
+// ---------------------------------------------------------------------------
+
+void RSumAllocator::insert(ItemId id, Tick size) {
+  MEMREAL_CHECK_MSG(size >= delta_lo_ && size <= delta_hi_,
+                    "RSUM size " << size << " outside [delta, 2delta]");
+  MEMREAL_CHECK(loc_.find(id) == loc_.end());
+  const bool was_empty = trash_empty();
+  const Tick off = span_end();
+  place_new(id, off, size);
+  loc_[id] = Loc{/*in_trash=*/true, 0};
+  if (was_empty) trash_start_ = off;
+}
+
+std::optional<std::vector<ItemId>> RSumAllocator::gather_y(ItemId id,
+                                                           Tick* span_lo) {
+  const Loc loc = loc_.at(id);
+  // Membership rule: trash deletes gather trash neighbours; main-body
+  // deletes stay inside I's block, except that the (invalid, short) stub
+  // block may spill into the block immediately to its right.
+  auto allowed = [&](ItemId other) {
+    const auto oit = loc_.find(other);
+    if (oit == loc_.end()) return false;
+    if (loc.in_trash) return oit->second.in_trash;
+    if (oit->second.in_trash) return false;
+    if (oit->second.block == loc.block) return true;
+    const bool stub = blocks_[loc.block].items.size() < m_;
+    return stub && oit->second.block == loc.block + 1;
+  };
+
+  std::vector<ItemId> y_items{id};
+  Tick y = mem_->size_of(id);
+  Tick lo_off = mem_->offset_of(id);
+  Tick hi_off = lo_off;
+
+  auto right = by_offset_.upper_bound(hi_off);
+  auto left = by_offset_.find(lo_off);
+  // Extend right first, then left; each addition is at most 2delta, the
+  // window width, so the sum cannot jump over the window.
+  while (y < y_target_lo_) {
+    if (right != by_offset_.end() && allowed(right->second)) {
+      y_items.push_back(right->second);
+      y += mem_->size_of(right->second);
+      hi_off = right->first;
+      ++right;
+      continue;
+    }
+    if (left != by_offset_.begin()) {
+      auto prev = std::prev(left);
+      if (allowed(prev->second)) {
+        y_items.insert(y_items.begin(), prev->second);
+        y += mem_->size_of(prev->second);
+        lo_off = prev->first;
+        left = prev;
+        continue;
+      }
+    }
+    return std::nullopt;  // not enough neighbours; caller rebuilds
+  }
+  MEMREAL_CHECK_MSG(y <= y_target_hi_, "Y overshot its window");
+  *span_lo = lo_off;
+  return y_items;
+}
+
+std::optional<std::vector<ItemId>> RSumAllocator::find_subset(
+    const Block& block, Tick lo, Tick hi) {
+  ++compat_checks_;
+  std::vector<Tick> sizes;
+  sizes.reserve(block.items.size());
+  for (ItemId id : block.items) sizes.push_back(mem_->size_of(id));
+  const auto t0 = Clock::now();
+  auto res = subset_in_range_mitm(sizes, lo, hi);
+  decision_seconds_ +=
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  if (!res) {
+    ++compat_failures_;
+    return std::nullopt;
+  }
+  std::vector<ItemId> out;
+  out.reserve(res->indices.size());
+  for (std::size_t i : res->indices) out.push_back(block.items[i]);
+  return out;
+}
+
+void RSumAllocator::push_blocks_from(std::size_t bidx) {
+  // Boundary: the leftmost offset belonging to the pushed blocks (all of
+  // which are still in their original spans).
+  MEMREAL_CHECK(bidx < blocks_.size());
+  const Tick limit = trash_empty() ? span_end() : trash_start_;
+  Tick from_off = limit;
+  for (std::size_t k = bidx; k < blocks_.size(); ++k) {
+    for (ItemId id : blocks_[k].items) {
+      from_off = std::min(from_off, mem_->offset_of(id));
+    }
+  }
+  push_range(bidx, from_off);
+}
+
+void RSumAllocator::push_range(std::size_t bidx, Tick from_off) {
+  MEMREAL_CHECK(bidx < blocks_.size());
+  for (std::size_t k = bidx; k < blocks_.size(); ++k) {
+    MEMREAL_CHECK_MSG(!blocks_[k].valid, "pushing a valid block");
+  }
+  const Tick limit = trash_empty() ? span_end() : trash_start_;
+  // Gather main-body items at or right of the boundary, in offset order.
+  std::vector<ItemId> pushed;
+  for (auto it = by_offset_.lower_bound(from_off);
+       it != by_offset_.end() && it->first < limit; ++it) {
+    pushed.push_back(it->second);
+  }
+  // Right-align (compact) against the trash start.
+  std::vector<std::pair<ItemId, Tick>> moves;
+  moves.reserve(pushed.size());
+  Tick cur = limit;
+  for (std::size_t i = pushed.size(); i-- > 0;) {
+    const ItemId id = pushed[i];
+    const Tick size = mem_->size_of(id);
+    MEMREAL_CHECK(cur >= size);
+    cur -= size;
+    moves.emplace_back(id, cur);
+    loc_[id] = Loc{/*in_trash=*/true, 0};
+  }
+  apply_moves(moves);
+  trash_start_ = cur;
+  blocks_.resize(bidx);
+}
+
+void RSumAllocator::regulate_buffer_small() {
+  // Rotate items from the back of the trash to its front until the buffer
+  // fits.  Each rotation moves one item (cost O(1)).
+  while (!trash_empty() && buffer_gap() > buffer_cap_) {
+    const auto& [off, id] = *by_offset_.rbegin();
+    const Tick size = mem_->size_of(id);
+    move_item(id, trash_start_ - size);
+    trash_start_ -= size;
+  }
+}
+
+void RSumAllocator::regulate_buffer_big() {
+  // Lemma 6.8: delta > eps/4, so single-item rotations are too coarse.
+  // The stash block is "temporarily not contained in memory" in the paper;
+  // physically we *plan* all rotations against the stash-free layout and
+  // apply them as one collision-safe batch at the end, so the stash's
+  // footprint can be reused by the rotated items.
+  while (!trash_empty() && buffer_gap() > buffer_cap_) {
+    const auto bopt = rightmost_valid();
+    if (!bopt || valid_count_ <= r_) {
+      rebuild();
+      return;
+    }
+    const std::size_t bidx = *bopt;
+    // Push the (invalid) blocks right of the stash so it borders the
+    // buffer.
+    if (bidx + 1 < blocks_.size()) push_blocks_from(bidx + 1);
+
+    Block& stash = blocks_[bidx];
+    Tick stash_lo = mem_->offset_of(stash.items.front());
+    for (ItemId id : stash.items) {
+      stash_lo = std::min(stash_lo, mem_->offset_of(id));
+    }
+    // With the stash removed, main content ends at the previous item.
+    Tick main_end2 = 0;
+    {
+      auto it = by_offset_.find(stash_lo);
+      MEMREAL_CHECK(it != by_offset_.end());
+      if (it != by_offset_.begin()) {
+        auto p = std::prev(it);
+        main_end2 = p->first + mem_->size_of(p->second);
+      }
+    }
+
+    // Virtual trash (offset order), excluding nothing: the stash is not in
+    // the trash.  Planned moves collect here; duplicates => bail out to a
+    // rebuild (degenerate tiny-trash corner).
+    std::vector<std::pair<ItemId, Tick>> plan;
+    std::unordered_map<ItemId, char> planned;
+    bool degenerate_rotation = false;
+
+    auto front = by_offset_.lower_bound(trash_start_);
+    Tick vt = trash_start_;  // virtual trash start
+    Tick vend = span_end();  // virtual span end
+    Tick gap = vt - main_end2;
+    bool grew = false;
+    // Grow the gap: front items hop to the end.  Each hop advances the
+    // virtual trash start to the next remaining item; if the trash runs
+    // dry before the window is reached, the plan cannot work — rebuild.
+    while (gap < y_target_lo_) {
+      if (front == by_offset_.end() || std::next(front) == by_offset_.end()) {
+        degenerate_rotation = true;
+        break;
+      }
+      const ItemId id = front->second;
+      plan.emplace_back(id, vend);
+      planned.emplace(id, 1);
+      vend += mem_->size_of(id);
+      ++front;
+      vt = front->first;
+      gap = vt - main_end2;
+      grew = true;
+    }
+    // Shrink the gap: back items slide to the front.  Grow steps overshoot
+    // by at most one item (< window width), so the two loops are mutually
+    // exclusive; re-planning an item would corrupt the batch.
+    if (!degenerate_rotation && !grew) {
+      auto back = by_offset_.rbegin();
+      while (gap > y_target_hi_) {
+        if (back == by_offset_.rend() || back->first < trash_start_ ||
+            planned.count(back->second) > 0) {
+          degenerate_rotation = true;
+          break;
+        }
+        const ItemId id = back->second;
+        const Tick size = mem_->size_of(id);
+        MEMREAL_CHECK(vt >= size);
+        vt -= size;
+        plan.emplace_back(id, vt);
+        planned.emplace(id, 1);
+        // The consumed suffix [back->first, old span end) is vacated:
+        // later appends start from its base, not the old span end.
+        vend = back->first;
+        ++back;
+        gap = vt - main_end2;
+      }
+    }
+    if (degenerate_rotation || gap < y_target_lo_ || gap > y_target_hi_) {
+      rebuild();
+      return;
+    }
+
+    // S subset of the stash with sum z: final gap y' - z <= eps/2.
+    const Tick y_prime = gap;
+    const Tick want_lo =
+        y_prime > buffer_cap_ ? y_prime - buffer_cap_ : 0;
+    auto s = find_subset(stash, want_lo, y_prime);
+    if (!s) {
+      if (valid_count_ - 1 < r_) {
+        rebuild();
+        return;
+      }
+      stash.valid = false;
+      --valid_count_;
+      push_blocks_from(bidx);
+      continue;  // nothing was moved; try the next candidate
+    }
+    // S right-aligned at the virtual trash start; stash \ S appended.
+    std::vector<char> in_s(stash.items.size(), 0);
+    for (ItemId sid : *s) {
+      for (std::size_t i = 0; i < stash.items.size(); ++i) {
+        if (stash.items[i] == sid && !in_s[i]) {
+          in_s[i] = 1;
+          break;
+        }
+      }
+    }
+    Tick cur = vt;
+    for (std::size_t i = s->size(); i-- > 0;) {
+      const ItemId id = (*s)[i];
+      cur -= mem_->size_of(id);
+      plan.emplace_back(id, cur);
+    }
+    for (std::size_t i = 0; i < stash.items.size(); ++i) {
+      if (in_s[i]) continue;
+      const ItemId id = stash.items[i];
+      plan.emplace_back(id, vend);
+      vend += mem_->size_of(id);
+    }
+    apply_moves(plan);
+    for (ItemId id : stash.items) loc_[id] = Loc{true, 0};
+    trash_start_ = cur;
+    stash.valid = false;
+    --valid_count_;
+    blocks_.resize(bidx);
+    return;  // buffer is now y' - z <= eps/2
+  }
+}
+
+std::optional<std::size_t> RSumAllocator::rightmost_valid() const {
+  for (std::size_t k = blocks_.size(); k-- > 0;) {
+    if (blocks_[k].valid) return k;
+  }
+  return std::nullopt;
+}
+
+void RSumAllocator::rebuild() {
+  ++rebuilds_;
+  // Collect everything, shuffle, compact, re-block from the right.
+  std::vector<ItemId> all;
+  all.reserve(by_offset_.size());
+  for (const auto& [off, id] : by_offset_) all.push_back(id);
+  rng_.shuffle(all);
+  by_offset_.clear();
+  Tick cur = 0;
+  for (ItemId id : all) {
+    if (mem_->offset_of(id) != cur) mem_->move_to(id, cur);
+    by_offset_.emplace(cur, id);
+    cur += mem_->size_of(id);
+  }
+  // Blocks of m items, partitioned from the right; a leftover prefix forms
+  // an invalid stub block.
+  blocks_.clear();
+  valid_count_ = 0;
+  const std::size_t n = all.size();
+  const std::size_t stub = n % m_;
+  std::size_t i = 0;
+  if (stub > 0) {
+    Block b;
+    b.valid = false;
+    for (; i < stub; ++i) b.items.push_back(all[i]);
+    blocks_.push_back(std::move(b));
+  }
+  while (i < n) {
+    Block b;
+    b.valid = true;
+    for (std::size_t k = 0; k < m_; ++k) b.items.push_back(all[i++]);
+    ++valid_count_;
+    blocks_.push_back(std::move(b));
+  }
+  for (std::size_t k = 0; k < blocks_.size(); ++k) {
+    for (ItemId id : blocks_[k].items) loc_[id] = Loc{false, k};
+  }
+  trash_start_ = cur;  // trash empty
+  resample_r();
+}
+
+void RSumAllocator::erase(ItemId id) {
+  auto lit = loc_.find(id);
+  MEMREAL_CHECK_MSG(lit != loc_.end(), "erase of unknown item " << id);
+
+  // Degenerate states go straight to a rebuild (this also covers the
+  // pre-first-rebuild phase, where everything is in the trash).
+  if (valid_count_ == 0 || valid_count_ < r_) {
+    remove_item(id);
+    rebuild();
+    return;
+  }
+  const Loc loc = lit->second;
+
+  Tick y_span_lo = 0;
+  auto y_opt = gather_y(id, &y_span_lo);
+  if (!y_opt) {
+    remove_item(id);
+    rebuild();
+    return;
+  }
+  std::vector<ItemId>& y_items = *y_opt;
+  Tick y = 0;
+  for (ItemId yi : y_items) y += mem_->size_of(yi);
+
+  // Search for a compatible valid block from the right; incompatible
+  // candidates are invalidated (but stay in place until the final push).
+  std::optional<std::size_t> found;
+  std::vector<ItemId> subset;
+  for (;;) {
+    const auto bopt = rightmost_valid();
+    if (!bopt) {
+      remove_item(id);
+      rebuild();
+      return;
+    }
+    const std::size_t bidx = *bopt;
+    auto s = find_subset(blocks_[bidx], y > g_ ? y - g_ : 0, y);
+    if (s) {
+      found = bidx;
+      subset = std::move(*s);
+      break;
+    }
+    if (valid_count_ - 1 < r_) {
+      remove_item(id);
+      rebuild();
+      return;
+    }
+    blocks_[bidx].valid = false;
+    --valid_count_;
+  }
+  const std::size_t bidx = *found;
+  Block& bblk = blocks_[bidx];
+  const bool degenerate = !loc.in_trash && loc.block == bidx;
+
+  // Rare corner: Y spilled into the chosen block B (stub spill adjacent to
+  // the rightmost valid block).  The double-membership bookkeeping is not
+  // worth the complexity — rebuild.
+  if (!degenerate) {
+    for (ItemId yi : y_items) {
+      const auto& yl = loc_.at(yi);
+      if (!yl.in_trash && yl.block == bidx) {
+        remove_item(id);
+        rebuild();
+        return;
+      }
+    }
+  }
+
+  // B's original left edge (push boundary), before any moves.
+  Tick b_span_lo = mem_->offset_of(bblk.items.front());
+  for (ItemId bi : bblk.items) {
+    b_span_lo = std::min(b_span_lo, mem_->offset_of(bi));
+  }
+
+  // Remove I before rearranging: it may occupy the very start of Y's span,
+  // where the first S item lands.
+  if (degenerate) {
+    auto& items = bblk.items;
+    items.erase(std::find(items.begin(), items.end(), id));
+  } else if (!loc.in_trash) {
+    auto& items = blocks_[loc.block].items;
+    items.erase(std::find(items.begin(), items.end(), id));
+  }
+  remove_item(id);
+
+  if (!degenerate) {
+    std::vector<char> in_s(bblk.items.size(), 0);
+    for (ItemId sid : subset) {
+      for (std::size_t i = 0; i < bblk.items.size(); ++i) {
+        if (bblk.items[i] == sid && !in_s[i]) {
+          in_s[i] = 1;
+          break;
+        }
+      }
+    }
+    // One batched rearrangement: S into Y's span (leaving a gap of at most
+    // g at its end), Y \ {I} and B \ S into B's span.
+    std::vector<std::pair<ItemId, Tick>> moves;
+    moves.reserve(y_items.size() + bblk.items.size());
+    Tick cur = y_span_lo;
+    for (ItemId sid : subset) {
+      moves.emplace_back(sid, cur);
+      cur += mem_->size_of(sid);
+    }
+    Tick bcur = b_span_lo;
+    for (ItemId yi : y_items) {
+      if (yi == id) continue;
+      moves.emplace_back(yi, bcur);
+      bcur += mem_->size_of(yi);
+    }
+    for (std::size_t i = 0; i < bblk.items.size(); ++i) {
+      if (in_s[i]) continue;
+      moves.emplace_back(bblk.items[i], bcur);
+      bcur += mem_->size_of(bblk.items[i]);
+    }
+    apply_moves(moves);
+
+    if (!loc.in_trash) {
+      // S replaces Y inside I's block; spilled Y members leave their
+      // blocks (which are invalidated).
+      Block& iblk = blocks_[loc.block];
+      std::vector<ItemId> next;
+      next.reserve(iblk.items.size());
+      bool inserted = false;
+      for (ItemId it : iblk.items) {
+        const bool in_y =
+            std::find(y_items.begin(), y_items.end(), it) != y_items.end();
+        if (in_y) {
+          if (!inserted) {
+            for (ItemId sid : subset) {
+              next.push_back(sid);
+              loc_[sid] = Loc{false, loc.block};
+            }
+            inserted = true;
+          }
+          continue;
+        }
+        next.push_back(it);
+      }
+      if (!inserted) {
+        for (ItemId sid : subset) {
+          next.push_back(sid);
+          loc_[sid] = Loc{false, loc.block};
+        }
+      }
+      for (ItemId yi : y_items) {
+        if (yi == id) continue;
+        const Loc yl = loc_.at(yi);
+        if (!yl.in_trash && yl.block != loc.block) {
+          Block& ob = blocks_[yl.block];
+          ob.items.erase(std::find(ob.items.begin(), ob.items.end(), yi));
+          if (ob.valid) {
+            ob.valid = false;
+            --valid_count_;
+          }
+        }
+        // Y \ {I} now lives in B's span; it will be pushed to the trash.
+        loc_[yi] = Loc{false, bidx};
+      }
+      iblk.items = std::move(next);
+      if (iblk.valid) {
+        iblk.valid = false;
+        --valid_count_;
+      }
+    } else {
+      // I was in the trash: S items join the trash (Y's span), Y \ {I}
+      // temporarily joins B (pushed right back below).
+      for (ItemId sid : subset) loc_[sid] = Loc{true, 0};
+      for (ItemId yi : y_items) {
+        if (yi == id) continue;
+        loc_[yi] = Loc{false, bidx};
+      }
+    }
+  }
+
+  // Invalidate B and push it, with everything to its right, into the
+  // trash.  The boundary is B's *original* left edge: S may already have
+  // moved left into Y's span.
+  if (bblk.valid) {
+    bblk.valid = false;
+    --valid_count_;
+  }
+  push_range(bidx, std::min(b_span_lo, trash_empty() ? b_span_lo
+                                                     : trash_start_));
+
+  if (big_delta_) {
+    regulate_buffer_big();
+  } else {
+    regulate_buffer_small();
+  }
+}
+
+void RSumAllocator::check_invariants() const {
+  MEMREAL_CHECK(by_offset_.size() == loc_.size());
+  std::size_t vc = 0;
+  std::size_t in_blocks = 0;
+  for (std::size_t k = 0; k < blocks_.size(); ++k) {
+    if (blocks_[k].valid) ++vc;
+    in_blocks += blocks_[k].items.size();
+    for (ItemId id : blocks_[k].items) {
+      const auto it = loc_.find(id);
+      MEMREAL_CHECK(it != loc_.end());
+      MEMREAL_CHECK_MSG(!it->second.in_trash, "block item marked as trash");
+      MEMREAL_CHECK(it->second.block == k);
+      MEMREAL_CHECK_MSG(trash_empty() || mem_->offset_of(id) < trash_start_,
+                        "block item beyond the trash boundary");
+    }
+    if (blocks_[k].valid) {
+      MEMREAL_CHECK_MSG(blocks_[k].items.size() == m_,
+                        "valid block without m items");
+    }
+  }
+  MEMREAL_CHECK(vc == valid_count_);
+  std::size_t in_trash = 0;
+  for (const auto& [id, l] : loc_) {
+    if (l.in_trash) {
+      ++in_trash;
+      MEMREAL_CHECK_MSG(mem_->offset_of(id) >= trash_start_,
+                        "trash item left of the trash boundary");
+    }
+  }
+  MEMREAL_CHECK_MSG(in_blocks + in_trash == loc_.size(),
+                    "items lost between blocks and trash");
+  if (!trash_empty()) {
+    MEMREAL_CHECK_MSG(buffer_gap() <= std::max(buffer_cap_, y_target_hi_),
+                      "buffer exceeds its bound");
+  }
+}
+
+}  // namespace memreal

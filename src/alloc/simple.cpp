@@ -1,0 +1,181 @@
+#include "alloc/simple.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/thresholds.h"
+
+namespace memreal {
+
+SimpleAllocator::SimpleAllocator(Memory& mem, double eps) : mem_(&mem) {
+  MEMREAL_CHECK(eps > 0 && eps < 1);
+  eps_t_ = mem_->eps_ticks();
+  const auto cap_d = static_cast<double>(mem_->capacity());
+  MEMREAL_CHECK_MSG(eps_t_ == static_cast<Tick>(eps * cap_d),
+                    "eps mismatch with Memory");
+  min_size_ = eps_t_;
+  max_size_ = 2 * eps_t_ - 1;
+
+  const double inv_cbrt = std::cbrt(1.0 / eps);
+  num_classes_ = static_cast<std::size_t>(std::ceil(inv_cbrt));
+  class_width_ = ceil_div(eps_t_, num_classes_);
+  period_ = static_cast<std::size_t>(std::floor(inv_cbrt));
+  MEMREAL_CHECK(period_ >= 1);
+  // Waste bound: period * class_width must stay <= eps (Lemma 3.2); integer
+  // rounding of the width can only make the product smaller after this
+  // clamp.
+  if (static_cast<Tick>(period_) * class_width_ > eps_t_) {
+    period_ = static_cast<std::size_t>(eps_t_ / class_width_);
+    MEMREAL_CHECK(period_ >= 1);
+  }
+}
+
+void SimpleAllocator::set_rebuild_period(std::size_t period) {
+  MEMREAL_CHECK(period >= 1);
+  period_ = period;
+}
+
+std::size_t SimpleAllocator::size_class_of(Tick size) const {
+  MEMREAL_CHECK_MSG(size >= min_size_ && size <= max_size_,
+                    "size " << size << " outside [eps, 2eps)");
+  const auto c = static_cast<std::size_t>((size - min_size_) / class_width_);
+  return std::min(c, num_classes_ - 1);
+}
+
+bool SimpleAllocator::in_covering(ItemId id) const {
+  auto it = pos_.find(id);
+  MEMREAL_CHECK(it != pos_.end());
+  return it->second >= covering_begin_;
+}
+
+void SimpleAllocator::apply_layout(std::size_t from) {
+  Tick off = from == 0 ? 0 : mem_->end_of(order_[from - 1]);
+  for (std::size_t k = from; k < order_.size(); ++k) {
+    mem_->move_to(order_[k], off);
+    pos_[order_[k]] = k;
+    off += mem_->extent_of(order_[k]);
+  }
+}
+
+void SimpleAllocator::rebuild() {
+  ++rebuilds_;
+  // Step 1: revert logical inflation.
+  for (ItemId id : order_) mem_->reset_extent(id);
+
+  // Step 2: group by size class, pick the smallest min(x_i, period) of
+  // each class as the covering set S.
+  std::vector<std::vector<ItemId>> by_class(num_classes_);
+  for (ItemId id : order_) {
+    by_class[size_class_of(mem_->size_of(id))].push_back(id);
+  }
+  std::vector<char> covering(order_.size(), 0);
+  std::unordered_map<ItemId, char> in_s;
+  for (auto& cls : by_class) {
+    std::sort(cls.begin(), cls.end(), [&](ItemId a, ItemId b) {
+      const Tick sa = mem_->size_of(a);
+      const Tick sb = mem_->size_of(b);
+      return sa != sb ? sa < sb : a < b;
+    });
+    const std::size_t take = std::min(cls.size(), period_);
+    for (std::size_t k = 0; k < take; ++k) in_s.emplace(cls[k], 1);
+  }
+
+  // Step 3: contiguous, left-aligned, covering set as suffix.  Stable
+  // partition keeps relative order and thus minimizes movement.
+  std::vector<ItemId> next;
+  next.reserve(order_.size());
+  for (ItemId id : order_) {
+    if (in_s.find(id) == in_s.end()) next.push_back(id);
+  }
+  covering_begin_ = next.size();
+  for (ItemId id : order_) {
+    if (in_s.find(id) != in_s.end()) next.push_back(id);
+  }
+  order_ = std::move(next);
+  apply_layout(0);
+}
+
+void SimpleAllocator::insert(ItemId id, Tick size) {
+  if (updates_seen_ % period_ == 0) rebuild();
+  ++updates_seen_;
+
+  const Tick off = order_.empty() ? 0 : mem_->end_of(order_.back());
+  mem_->place(id, off, size);
+  pos_[id] = order_.size();
+  order_.push_back(id);  // joins the covering set (suffix)
+  (void)size_class_of(size);  // validates the size regime
+}
+
+void SimpleAllocator::erase(ItemId id) {
+  if (updates_seen_ % period_ == 0) rebuild();
+  ++updates_seen_;
+
+  const auto pit = pos_.find(id);
+  MEMREAL_CHECK_MSG(pit != pos_.end(), "erase of unknown item " << id);
+  const std::size_t p = pit->second;
+
+  if (p >= covering_begin_) {
+    // Covering-set delete: remove and compact the covering set.
+    mem_->remove(id);
+    pos_.erase(pit);
+    order_.erase(order_.begin() + static_cast<std::ptrdiff_t>(p));
+    apply_layout(p);
+    return;
+  }
+
+  // Main-portion delete: swap in a covering item of the same class with
+  // logical size <= ours (Lemma 3.2 guarantees one exists), inflate it.
+  const std::size_t cls = size_class_of(mem_->size_of(id));
+  const Tick my_extent = mem_->extent_of(id);
+  ItemId best = kNoItem;
+  Tick best_extent = 0;
+  for (std::size_t k = covering_begin_; k < order_.size(); ++k) {
+    const ItemId cand = order_[k];
+    if (size_class_of(mem_->size_of(cand)) != cls) continue;
+    const Tick ext = mem_->extent_of(cand);
+    if (ext > my_extent) continue;
+    if (best == kNoItem || ext < best_extent) {
+      best = cand;
+      best_extent = ext;
+    }
+  }
+  MEMREAL_CHECK_MSG(best != kNoItem,
+                    "Lemma 3.2 violated: no covering item for class " << cls);
+
+  const std::size_t q = pos_[best];
+  const Tick slot = mem_->offset_of(id);
+  mem_->remove(id);
+  pos_.erase(pit);
+  // I' takes I's slot and I's (inflated) extent.
+  mem_->move_to(best, slot);
+  mem_->set_extent(best, my_extent);
+  order_[p] = best;
+  pos_[best] = p;
+  order_.erase(order_.begin() + static_cast<std::ptrdiff_t>(q));
+  apply_layout(q);  // compact the covering set
+}
+
+void SimpleAllocator::check_invariants() const {
+  MEMREAL_CHECK(order_.size() == mem_->item_count());
+  MEMREAL_CHECK(covering_begin_ <= order_.size());
+  // Contiguity of extents from 0.
+  Tick off = 0;
+  Tick waste = 0;
+  for (std::size_t k = 0; k < order_.size(); ++k) {
+    const ItemId id = order_[k];
+    MEMREAL_CHECK_MSG(mem_->offset_of(id) == off, "layout not contiguous");
+    MEMREAL_CHECK(pos_.at(id) == k);
+    waste += mem_->extent_of(id) - mem_->size_of(id);
+    off += mem_->extent_of(id);
+  }
+  // Lemma 3.2: total waste below eps.
+  MEMREAL_CHECK_MSG(waste <= eps_t_, "waste " << waste << " > eps");
+  // Covering-set items are never inflated (inflation targets leave the
+  // covering set when swapped into the main portion).
+  for (std::size_t k = covering_begin_; k < order_.size(); ++k) {
+    MEMREAL_CHECK(mem_->extent_of(order_[k]) == mem_->size_of(order_[k]));
+  }
+}
+
+}  // namespace memreal

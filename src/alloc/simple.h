@@ -1,0 +1,67 @@
+// SIMPLE — Theorem 3.1 / Algorithm 1 of the paper.
+//
+// Regime: every item size lies in [eps, 2eps).  SIMPLE partitions sizes
+// into ceil(eps^-1/3) fixed-stride classes of width eps^{4/3}, keeps a
+// "covering set" as a suffix of memory (the smallest floor(eps^-1/3) items
+// of each class at the last rebuild, plus everything inserted since),
+// handles deletes outside the covering set by swapping in a same-class
+// covering item and logically inflating it, and rebuilds every
+// floor(eps^-1/3) updates.  Amortized update cost: O(eps^-2/3).
+//
+// Layout discipline: items are always contiguous in their *extents*
+// (logical sizes), left-aligned at 0; waste lives inside extents, bounded
+// by (rebuild period) x (class width) <= eps.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/allocator.h"
+#include "mem/memory.h"
+
+namespace memreal {
+
+class SimpleAllocator final : public Allocator {
+ public:
+  /// eps must match the Memory's eps_ticks; item sizes must lie in
+  /// [eps, 2eps) of capacity.
+  SimpleAllocator(Memory& mem, double eps);
+
+  void insert(ItemId id, Tick size) override;
+  void erase(ItemId id) override;
+  [[nodiscard]] std::string_view name() const override { return "simple"; }
+  void check_invariants() const override;
+
+  // -- introspection (tests / figure renderer) -----------------------------
+  [[nodiscard]] std::size_t size_class_count() const { return num_classes_; }
+  [[nodiscard]] std::size_t rebuild_period() const { return period_; }
+  [[nodiscard]] std::size_t rebuilds() const { return rebuilds_; }
+  [[nodiscard]] std::size_t covering_size() const {
+    return order_.size() - covering_begin_;
+  }
+  [[nodiscard]] bool in_covering(ItemId id) const;
+  [[nodiscard]] std::size_t size_class_of(Tick size) const;
+
+  /// Overrides the rebuild period (ablation T8b).  Must be >= 1.
+  void set_rebuild_period(std::size_t period);
+
+ private:
+  void rebuild();
+  /// Recomputes contiguous offsets for order_[from..] and refreshes pos_.
+  void apply_layout(std::size_t from);
+
+  Memory* mem_;
+  Tick eps_t_;
+  Tick min_size_, max_size_;  ///< [eps, 2eps) in ticks
+  std::size_t num_classes_;   ///< ceil(eps^-1/3)
+  Tick class_width_;          ///< ceil(eps_t / num_classes_)
+  std::size_t period_;        ///< floor(eps^-1/3), clamped for waste bound
+
+  std::vector<ItemId> order_;  ///< left-to-right; covering set is a suffix
+  std::size_t covering_begin_ = 0;
+  std::unordered_map<ItemId, std::size_t> pos_;
+  std::size_t updates_seen_ = 0;
+  std::size_t rebuilds_ = 0;
+};
+
+}  // namespace memreal

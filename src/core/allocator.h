@@ -1,0 +1,50 @@
+// The allocator interface — the library's central abstraction.
+//
+// An Allocator owns the *placement policy*; all physical effects go through
+// the Memory it was constructed with, which accounts cost and validates
+// invariants.  Implementations in src/alloc:
+//
+//   FolkloreCompact / FolkloreWindowed   — the O(eps^-1) baselines
+//   SimpleAllocator                      — SIMPLE   (Theorem 3.1)
+//   GeoAllocator                         — GEO      (Theorem 4.1)
+//   TinySlabAllocator                    — TINYHASH substitute (items < eps^4)
+//   FlexHashAllocator                    — FLEXHASH (Lemma 4.9)
+//   CombinedAllocator                    — Corollary 4.10
+//   RSumAllocator                        — RSUM     (Theorem 6.1)
+#pragma once
+
+#include <string_view>
+
+#include "util/types.h"
+
+namespace memreal {
+
+class Allocator {
+ public:
+  virtual ~Allocator() = default;
+
+  /// Handles an insert.  Must be called inside an open Memory update.
+  virtual void insert(ItemId id, Tick size) = 0;
+
+  /// Handles a delete.  Must be called inside an open Memory update.
+  virtual void erase(ItemId id) = 0;
+
+  /// Human-readable allocator name for tables.
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// True if the allocator guarantees span <= L + eps (all allocators in
+  /// the paper except the windowed folklore baseline).
+  [[nodiscard]] virtual bool resizable() const { return true; }
+
+  /// Deep self-check of allocator-specific invariants (level-size
+  /// invariant, covering-set structure, ...).  Called by tests between
+  /// updates; default is a no-op.
+  virtual void check_invariants() const {}
+
+  /// Cumulative wall-clock seconds spent *deciding* which items to move
+  /// (Theorem 6.1 measures RSUM's strategy computation separately from the
+  /// movement cost).  Allocators that don't track this return 0.
+  [[nodiscard]] virtual double decision_seconds() const { return 0.0; }
+};
+
+}  // namespace memreal

@@ -1,0 +1,48 @@
+// The engine drives an allocator through an update sequence against the
+// validating memory model, bracketing each update in a transaction and
+// collecting RunStats.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+
+#include "core/allocator.h"
+#include "core/run_stats.h"
+#include "core/update.h"
+#include "mem/memory.h"
+
+namespace memreal {
+
+struct EngineOptions {
+  /// Call allocator.check_invariants() every n-th update (0 = never).
+  std::size_t check_invariants_every = 0;
+  /// Invoked after each update with (index, update, cost); used by tests,
+  /// the potential certifier and the figure renderers.
+  std::function<void(std::size_t, const Update&, double)> on_update;
+};
+
+class Engine {
+ public:
+  Engine(Memory& memory, Allocator& allocator, EngineOptions options = {});
+
+  /// Applies all updates; throws InvariantViolation on any model or
+  /// allocator invariant failure.  Returns the accumulated statistics.
+  RunStats run(std::span<const Update> updates);
+
+  /// Applies a single update and returns its cost L/k.
+  double step(const Update& update);
+
+  [[nodiscard]] const RunStats& stats() const { return stats_; }
+  [[nodiscard]] Memory& memory() { return *memory_; }
+  [[nodiscard]] Allocator& allocator() { return *allocator_; }
+
+ private:
+  Memory* memory_;
+  Allocator* allocator_;
+  EngineOptions options_;
+  RunStats stats_;
+  std::size_t step_index_ = 0;
+};
+
+}  // namespace memreal

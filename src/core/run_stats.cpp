@@ -1,0 +1,44 @@
+#include "core/run_stats.h"
+
+#include "util/check.h"
+
+namespace memreal {
+
+double RunStats::ratio_cost() const {
+  if (update_mass == 0) return 0.0;
+  return static_cast<double>(moved_mass) / static_cast<double>(update_mass);
+}
+
+void RunStats::record(bool is_insert, Tick update_size, Tick moved) {
+  MEMREAL_CHECK(update_size > 0);
+  ++updates;
+  if (is_insert) {
+    ++inserts;
+  } else {
+    ++deletes;
+  }
+  moved_mass += moved;
+  update_mass += update_size;
+  const double c =
+      static_cast<double>(moved) / static_cast<double>(update_size);
+  cost.add(c);
+  cost_quantiles.add(c);
+  (is_insert ? insert_cost : delete_cost).add(c);
+}
+
+void RunStats::merge(const RunStats& other) {
+  updates += other.updates;
+  inserts += other.inserts;
+  deletes += other.deletes;
+  moved_mass += other.moved_mass;
+  update_mass += other.update_mass;
+  cost.merge(other.cost);
+  insert_cost.merge(other.insert_cost);
+  delete_cost.merge(other.delete_cost);
+  decision_seconds += other.decision_seconds;
+  wall_seconds += other.wall_seconds;
+  // Quantile samples are not merged (kept per-run); merged stats expose
+  // moments only.
+}
+
+}  // namespace memreal

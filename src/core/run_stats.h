@@ -1,0 +1,44 @@
+// Cost accounting for a run of updates.
+//
+// Section 3 of the paper distinguishes two amortized objectives:
+//   (i)  mean of per-update costs:      (1/n) * sum_i L_i / k_i
+//   (ii) ratio of totals:               (sum_i L_i) / (sum_i k_i)
+// RunStats tracks both, plus maxima, quantiles and the split between
+// insert- and delete-triggered movement.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/stats.h"
+#include "util/types.h"
+
+namespace memreal {
+
+struct RunStats {
+  std::size_t updates = 0;
+  std::size_t inserts = 0;
+  std::size_t deletes = 0;
+
+  Tick moved_mass = 0;   ///< sum of L_i (ticks)
+  Tick update_mass = 0;  ///< sum of k_i (ticks)
+
+  StreamingStats cost;         ///< per-update L_i / k_i
+  StreamingStats insert_cost;  ///< restricted to inserts
+  StreamingStats delete_cost;  ///< restricted to deletes
+  Quantiles cost_quantiles;
+
+  double decision_seconds = 0.0;  ///< allocator strategy time (Theorem 6.1)
+  double wall_seconds = 0.0;      ///< total engine wall time
+
+  /// Objective (i): mean per-update cost.
+  [[nodiscard]] double mean_cost() const { return cost.mean(); }
+  /// Objective (ii): total moved over total updated mass.
+  [[nodiscard]] double ratio_cost() const;
+  [[nodiscard]] double max_cost() const { return cost.max(); }
+
+  void record(bool is_insert, Tick update_size, Tick moved);
+  void merge(const RunStats& other);
+};
+
+}  // namespace memreal

@@ -1,0 +1,29 @@
+// Update events: the online insert/delete stream an allocator must serve.
+#pragma once
+
+#include "util/types.h"
+
+namespace memreal {
+
+enum class UpdateKind : unsigned char { kInsert, kDelete };
+
+/// One online update.  For deletes, `size` records the item's size (known
+/// to the generator; the engine re-checks it against the memory model).
+struct Update {
+  UpdateKind kind = UpdateKind::kInsert;
+  ItemId id = kNoItem;
+  Tick size = 0;
+
+  static Update insert(ItemId id, Tick size) {
+    return Update{UpdateKind::kInsert, id, size};
+  }
+  static Update erase(ItemId id, Tick size) {
+    return Update{UpdateKind::kDelete, id, size};
+  }
+
+  [[nodiscard]] bool is_insert() const { return kind == UpdateKind::kInsert; }
+
+  friend bool operator==(const Update&, const Update&) = default;
+};
+
+}  // namespace memreal

@@ -1,0 +1,37 @@
+// Cross-allocator sweep: run several allocators on identical workloads and
+// produce the comparison tables the benches print (who wins, by what
+// factor, where the exponents land).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+
+namespace memreal {
+
+struct ComparisonConfig {
+  std::vector<std::string> allocators;
+  SequenceFactory make_sequence;
+  std::vector<double> eps_values;
+  std::size_t seeds = 3;
+  double delta = 0.0;
+  std::size_t validate_every = 256;
+  std::size_t threads = 0;
+};
+
+struct ComparisonResult {
+  std::vector<std::string> allocators;
+  std::vector<std::vector<EpsRow>> rows;  ///< [allocator][eps]
+
+  /// Fitted power-law exponent per allocator (cost vs 1/eps).
+  [[nodiscard]] std::vector<PowerLawFit> exponents() const;
+  /// Table of mean cost: one row per eps, one column per allocator.
+  [[nodiscard]] Table cost_table() const;
+  /// Table of fitted exponents.
+  [[nodiscard]] Table exponent_table() const;
+};
+
+[[nodiscard]] ComparisonResult run_comparison(const ComparisonConfig& c);
+
+}  // namespace memreal

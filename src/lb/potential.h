@@ -1,0 +1,51 @@
+// The potential function Phi of Theorem 5.1, plus a certifier that replays
+// an allocator on the lower-bound sequence and verifies the mechanics of
+// the proof against the allocator's *actual* layout trace:
+//
+//  * Phi = sum_{i=1..n} B_i / i over the final i items (by offset order);
+//  * per update, the allocator's Phi decrease is at most the number of
+//    items it moved (the full-permutation argument);
+//  * the measured amortized cost dominates the potential-derived floor.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/allocator.h"
+#include "lb/lower_bound.h"
+#include "mem/memory.h"
+
+namespace memreal {
+
+/// Phi over a layout snapshot: items sorted by offset; `is_b(id)` marks B
+/// items.  Only the final `n` items count (fewer if fewer present).
+[[nodiscard]] double potential_phi(const std::vector<PlacedItem>& snapshot,
+                                   const std::function<bool(ItemId)>& is_b,
+                                   std::size_t n);
+
+struct CertifiedRun {
+  std::string allocator;
+  double eps = 0;
+  std::size_t n = 0;
+  double measured_amortized_cost = 0;  ///< mean of per-update L/k
+  double floor = 0;                    ///< spec.amortized_floor()
+  double phi_final = 0;
+  double phi_conversion_gain = 0;  ///< sum of Phi raises from A->B turns
+  double phi_allocator_drop = 0;   ///< sum of Phi drops from rearrangement
+  std::size_t items_moved = 0;     ///< total item relocations observed
+  bool potential_inequality_ok = true;  ///< per-update drop <= moved items
+
+  [[nodiscard]] double floor_ratio() const {
+    return floor > 0 ? measured_amortized_cost / floor : 0.0;
+  }
+};
+
+/// Runs `allocator` (by registry name) on the lower-bound sequence for
+/// `spec`, tracking Phi from actual layouts.  Throws on any invariant
+/// violation.
+[[nodiscard]] CertifiedRun run_certified_lower_bound(
+    const LowerBoundSpec& spec, const std::string& allocator_name,
+    std::uint64_t seed = 1);
+
+}  // namespace memreal

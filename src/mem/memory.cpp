@@ -1,0 +1,171 @@
+#include "mem/memory.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace memreal {
+
+Memory::Memory(Tick capacity, Tick eps_ticks, ValidationPolicy policy)
+    : capacity_(capacity), eps_ticks_(eps_ticks), policy_(policy) {
+  MEMREAL_CHECK(capacity > 0);
+  MEMREAL_CHECK_MSG(eps_ticks < capacity, "eps must be < 1");
+}
+
+const Memory::Rec& Memory::rec(ItemId id) const {
+  auto it = items_.find(id);
+  MEMREAL_CHECK_MSG(it != items_.end(), "unknown item id " << id);
+  return it->second;
+}
+
+Memory::Rec& Memory::rec(ItemId id) {
+  auto it = items_.find(id);
+  MEMREAL_CHECK_MSG(it != items_.end(), "unknown item id " << id);
+  return it->second;
+}
+
+void Memory::begin_update(Tick update_size, bool is_insert) {
+  MEMREAL_CHECK_MSG(!in_update_, "nested update");
+  MEMREAL_CHECK(update_size > 0);
+  if (is_insert && policy_.check_load_factor) {
+    MEMREAL_CHECK_MSG(
+        live_mass_ + update_size + eps_ticks_ <= capacity_,
+        "adversary violated the load-factor promise: live "
+            << live_mass_ << " + insert " << update_size << " + eps "
+            << eps_ticks_ << " > capacity " << capacity_);
+  }
+  in_update_ = true;
+  moved_ = 0;
+}
+
+Tick Memory::end_update() {
+  MEMREAL_CHECK_MSG(in_update_, "end_update without begin_update");
+  in_update_ = false;
+  total_moved_ += moved_;
+  ++updates_;
+  if (policy_.every_n_updates != 0 &&
+      updates_ % policy_.every_n_updates == 0) {
+    validate();
+  }
+  return moved_;
+}
+
+void Memory::place(ItemId id, Tick offset, Tick size, Tick extent) {
+  MEMREAL_CHECK_MSG(in_update_, "layout mutation outside an update");
+  MEMREAL_CHECK_MSG(items_.find(id) == items_.end(),
+                    "item " << id << " already placed");
+  MEMREAL_CHECK(size > 0);
+  if (extent == 0) extent = size;
+  MEMREAL_CHECK(extent >= size);
+  MEMREAL_CHECK_MSG(offset + extent <= capacity_,
+                    "placement beyond capacity: end " << offset + extent);
+  items_.emplace(id, Rec{offset, size, extent});
+  live_mass_ += size;
+  extent_mass_ += extent;
+  moved_ += size;
+}
+
+void Memory::move_to(ItemId id, Tick offset) {
+  MEMREAL_CHECK_MSG(in_update_, "layout mutation outside an update");
+  Rec& r = rec(id);
+  if (r.offset == offset) return;
+  MEMREAL_CHECK_MSG(offset + r.extent <= capacity_,
+                    "move beyond capacity: end " << offset + r.extent);
+  r.offset = offset;
+  moved_ += r.size;
+}
+
+void Memory::set_extent(ItemId id, Tick extent) {
+  MEMREAL_CHECK_MSG(in_update_, "layout mutation outside an update");
+  Rec& r = rec(id);
+  MEMREAL_CHECK_MSG(extent >= r.size,
+                    "extent " << extent << " below true size " << r.size);
+  MEMREAL_CHECK(r.offset + extent <= capacity_);
+  extent_mass_ += extent;
+  extent_mass_ -= r.extent;
+  r.extent = extent;
+}
+
+void Memory::reset_extent(ItemId id) { set_extent(id, rec(id).size); }
+
+void Memory::remove(ItemId id) {
+  MEMREAL_CHECK_MSG(in_update_, "layout mutation outside an update");
+  auto it = items_.find(id);
+  MEMREAL_CHECK_MSG(it != items_.end(), "removing unknown item " << id);
+  live_mass_ -= it->second.size;
+  extent_mass_ -= it->second.extent;
+  items_.erase(it);
+}
+
+Tick Memory::span_end() const {
+  Tick end = 0;
+  for (const auto& [id, r] : items_) {
+    end = std::max(end, r.offset + r.extent);
+  }
+  return end;
+}
+
+std::vector<PlacedItem> Memory::snapshot() const {
+  std::vector<PlacedItem> out;
+  out.reserve(items_.size());
+  for (const auto& [id, r] : items_) {
+    out.push_back(PlacedItem{id, r.offset, r.size, r.extent});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const PlacedItem& a, const PlacedItem& b) {
+              return a.offset < b.offset;
+            });
+  return out;
+}
+
+std::vector<std::pair<Tick, Tick>> Memory::gaps() const {
+  std::vector<std::pair<Tick, Tick>> out;
+  Tick cursor = 0;
+  for (const auto& it : snapshot()) {
+    if (it.offset > cursor) out.emplace_back(cursor, it.offset - cursor);
+    cursor = std::max(cursor, it.offset + it.extent);
+  }
+  return out;
+}
+
+void Memory::validate() const {
+  const auto snap = snapshot();
+  Tick live = 0;
+  Tick ext = 0;
+  Tick prev_end = 0;
+  ItemId prev_id = kNoItem;
+  for (const auto& it : snap) {
+    MEMREAL_CHECK_MSG(it.offset >= prev_end,
+                      "overlap: item " << it.id << " at [" << it.offset << ", "
+                                       << it.offset + it.extent
+                                       << ") intersects item " << prev_id
+                                       << " ending at " << prev_end);
+    MEMREAL_CHECK(it.extent >= it.size);
+    prev_end = it.offset + it.extent;
+    prev_id = it.id;
+    live += it.size;
+    ext += it.extent;
+  }
+  MEMREAL_CHECK_MSG(live == live_mass_, "live-mass accounting drift");
+  MEMREAL_CHECK_MSG(ext == extent_mass_, "extent-mass accounting drift");
+  MEMREAL_CHECK_MSG(prev_end <= capacity_, "layout beyond capacity");
+  if (policy_.check_resizable_bound &&
+      prev_end > live_mass_ + eps_ticks_) {
+    auto gs = gaps();
+    std::sort(gs.begin(), gs.end(),
+              [](const auto& a, const auto& b) { return a.second > b.second; });
+    std::ostringstream os;
+    for (std::size_t i = 0; i < gs.size() && i < 3; ++i) {
+      os << " [off " << gs[i].first << " len " << gs[i].second << "]";
+    }
+    MEMREAL_CHECK_MSG(false, "resizable bound violated: span "
+                                 << prev_end << " > L + eps = "
+                                 << live_mass_ + eps_ticks_
+                                 << "; largest gaps:" << os.str());
+  }
+  if (policy_.check_load_factor) {
+    MEMREAL_CHECK_MSG(live_mass_ + eps_ticks_ <= capacity_,
+                      "load factor above 1 - eps");
+  }
+}
+
+}  // namespace memreal

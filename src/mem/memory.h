@@ -1,0 +1,155 @@
+// The validating memory model.
+//
+// This is the substrate the paper's cost model assumes: a flat address
+// space [0, capacity) where placing or moving an object of size s costs s.
+// Allocators perform all layout changes through this class; it
+//
+//  * accounts the mass moved per update (the numerator of the paper's
+//    cost L/k),
+//  * distinguishes an item's true size from its *extent* (the logically
+//    inflated size used by SIMPLE/GEO swaps: "logically inflate item I' to
+//    size |I|"),
+//  * validates, per update or on demand, that extents are pairwise disjoint
+//    and that a resizable allocator keeps everything inside [0, L + eps]
+//    (L = live true mass), and
+//  * checks the adversary's promise that live mass never exceeds
+//    capacity - eps.
+//
+// Updates are transactional: the engine brackets each insert/delete with
+// begin_update/end_update, and validation runs at transaction end so that
+// allocators may pass through transient overlapping states mid-rearrange.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/check.h"
+#include "util/types.h"
+
+namespace memreal {
+
+/// Controls how often full O(n log n) validation runs.
+struct ValidationPolicy {
+  /// Validate at the end of every n-th update; 0 disables periodic
+  /// validation (explicit validate() still works).  Tests use 1.
+  std::size_t every_n_updates = 1;
+  /// Enforce span_end <= live_mass + eps (the resizable guarantee).
+  /// Non-resizable allocators (windowed folklore) set this false and are
+  /// checked against span_end <= capacity instead.
+  bool check_resizable_bound = true;
+  /// Enforce the adversary's load-factor promise on placement.
+  bool check_load_factor = true;
+};
+
+/// A placed item as seen by introspection (sorted snapshots).
+struct PlacedItem {
+  ItemId id = kNoItem;
+  Tick offset = 0;
+  Tick size = 0;    ///< true size
+  Tick extent = 0;  ///< logical (inflated) size; extent >= size
+};
+
+class Memory {
+ public:
+  Memory(Tick capacity, Tick eps_ticks, ValidationPolicy policy = {});
+
+  // -- Transactions -------------------------------------------------------
+
+  /// Starts accounting for one update (insert or delete) of `update_size`.
+  void begin_update(Tick update_size, bool is_insert);
+
+  /// Ends the update; returns the total true mass moved during it.  Runs
+  /// full validation according to policy.
+  Tick end_update();
+
+  [[nodiscard]] bool in_update() const { return in_update_; }
+  /// Mass moved so far in the open update.
+  [[nodiscard]] Tick moved_in_update() const { return moved_; }
+
+  // -- Layout mutation (allowed only inside an update) ---------------------
+
+  /// Places a new item; charges `size` moved mass (writing the item's
+  /// bytes).  extent defaults to size.
+  void place(ItemId id, Tick offset, Tick size, Tick extent = 0);
+
+  /// Moves an existing item; charges its true size iff the offset changes.
+  void move_to(ItemId id, Tick offset);
+
+  /// Logically inflates/deflates an item's extent (free: no bytes move).
+  /// extent must be >= true size.
+  void set_extent(ItemId id, Tick extent);
+
+  /// Resets extent to the true size (waste-recovery "revert").
+  void reset_extent(ItemId id);
+
+  /// Removes an item (free: deallocating costs nothing in the model).
+  void remove(ItemId id);
+
+  // -- Queries -------------------------------------------------------------
+
+  [[nodiscard]] bool contains(ItemId id) const { return items_.count(id) > 0; }
+  [[nodiscard]] Tick offset_of(ItemId id) const { return rec(id).offset; }
+  [[nodiscard]] Tick size_of(ItemId id) const { return rec(id).size; }
+  [[nodiscard]] Tick extent_of(ItemId id) const { return rec(id).extent; }
+  [[nodiscard]] Tick end_of(ItemId id) const {
+    const Rec& r = rec(id);
+    return r.offset + r.extent;
+  }
+
+  [[nodiscard]] std::size_t item_count() const { return items_.size(); }
+  /// Sum of true sizes (the paper's L).
+  [[nodiscard]] Tick live_mass() const { return live_mass_; }
+  /// Sum of extents (>= live_mass; difference is the logical waste).
+  [[nodiscard]] Tick extent_mass() const { return extent_mass_; }
+  /// max over items of offset + extent (0 when empty).
+  [[nodiscard]] Tick span_end() const;
+
+  [[nodiscard]] Tick capacity() const { return capacity_; }
+  [[nodiscard]] Tick eps_ticks() const { return eps_ticks_; }
+
+  /// Total true mass moved since construction.
+  [[nodiscard]] Tick total_moved() const { return total_moved_; }
+  [[nodiscard]] std::size_t update_count() const { return updates_; }
+
+  /// Items sorted by offset.
+  [[nodiscard]] std::vector<PlacedItem> snapshot() const;
+
+  /// Free intervals between placed extents inside [0, span_end()].
+  [[nodiscard]] std::vector<std::pair<Tick, Tick>> gaps() const;
+
+  // -- Validation ----------------------------------------------------------
+
+  /// Full check: extents pairwise disjoint, within bounds, mass totals
+  /// consistent.  Throws InvariantViolation on failure.
+  void validate() const;
+
+  ValidationPolicy& policy() { return policy_; }
+  [[nodiscard]] const ValidationPolicy& policy() const { return policy_; }
+
+ private:
+  struct Rec {
+    Tick offset = 0;
+    Tick size = 0;
+    Tick extent = 0;
+  };
+
+  [[nodiscard]] const Rec& rec(ItemId id) const;
+  [[nodiscard]] Rec& rec(ItemId id);
+
+  Tick capacity_;
+  Tick eps_ticks_;
+  ValidationPolicy policy_;
+
+  std::unordered_map<ItemId, Rec> items_;
+  Tick live_mass_ = 0;
+  Tick extent_mass_ = 0;
+
+  bool in_update_ = false;
+  Tick moved_ = 0;
+  Tick total_moved_ = 0;
+  std::size_t updates_ = 0;
+};
+
+}  // namespace memreal

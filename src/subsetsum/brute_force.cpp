@@ -1,0 +1,36 @@
+#include <bit>
+
+#include "subsetsum/subsetsum.h"
+#include "util/check.h"
+
+namespace memreal {
+
+std::optional<SubsetResult> subset_in_range_brute(
+    std::span<const Tick> values, Tick lo, Tick hi,
+    std::optional<std::size_t> cardinality) {
+  MEMREAL_CHECK(lo <= hi);
+  MEMREAL_CHECK_MSG(values.size() <= 30, "brute force limited to m <= 30");
+  const std::size_t m = values.size();
+  const std::uint64_t limit = std::uint64_t{1} << m;
+  for (std::uint64_t mask = 1; mask < limit; ++mask) {
+    if (cardinality &&
+        static_cast<std::size_t>(std::popcount(mask)) != *cardinality) {
+      continue;
+    }
+    Tick sum = 0;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (mask & (std::uint64_t{1} << i)) sum += values[i];
+    }
+    if (sum >= lo && sum <= hi) {
+      SubsetResult r;
+      r.sum = sum;
+      for (std::size_t i = 0; i < m; ++i) {
+        if (mask & (std::uint64_t{1} << i)) r.indices.push_back(i);
+      }
+      return r;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace memreal

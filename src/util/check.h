@@ -1,0 +1,52 @@
+// Always-on invariant checking.
+//
+// The allocators in this library are executable proofs: every lemma-level
+// invariant from the paper is asserted at runtime.  Violations throw
+// memreal::InvariantViolation (so tests can EXPECT_THROW and production
+// users get a diagnosable failure rather than silent corruption).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace memreal {
+
+/// Thrown when a paper invariant (disjointness, resizable bound, level-size
+/// invariant, ...) fails at runtime.
+class InvariantViolation : public std::logic_error {
+ public:
+  explicit InvariantViolation(const std::string& what)
+      : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant violated: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvariantViolation(os.str());
+}
+}  // namespace detail
+
+}  // namespace memreal
+
+/// MEMREAL_CHECK(cond) — throw InvariantViolation unless cond holds.
+#define MEMREAL_CHECK(cond)                                              \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::memreal::detail::check_failed(#cond, __FILE__, __LINE__, "");    \
+    }                                                                    \
+  } while (0)
+
+/// MEMREAL_CHECK_MSG(cond, msg) — as MEMREAL_CHECK with a streamed message.
+#define MEMREAL_CHECK_MSG(cond, msg)                                     \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::ostringstream memreal_os_;                                    \
+      memreal_os_ << msg; /* NOLINT */                                   \
+      ::memreal::detail::check_failed(#cond, __FILE__, __LINE__,         \
+                                      memreal_os_.str());                \
+    }                                                                    \
+  } while (0)

@@ -1,0 +1,49 @@
+#include "util/fit.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace memreal {
+
+LinearFit fit_linear(std::span<const double> x, std::span<const double> y) {
+  MEMREAL_CHECK(x.size() == y.size());
+  MEMREAL_CHECK(x.size() >= 2);
+  const auto n = static_cast<double>(x.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+    syy += y[i] * y[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  MEMREAL_CHECK_MSG(denom != 0.0, "degenerate x values in fit");
+  LinearFit f;
+  f.slope = (n * sxy - sx * sy) / denom;
+  f.intercept = (sy - f.slope * sx) / n;
+  const double ss_tot = syy - sy * sy / n;
+  double ss_res = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double e = y[i] - (f.intercept + f.slope * x[i]);
+    ss_res += e * e;
+  }
+  f.r2 = ss_tot > 0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return f;
+}
+
+PowerLawFit fit_power_law(std::span<const double> x,
+                          std::span<const double> y) {
+  MEMREAL_CHECK(x.size() == y.size());
+  std::vector<double> lx(x.size()), ly(y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    MEMREAL_CHECK_MSG(x[i] > 0 && y[i] > 0, "power-law fit needs positives");
+    lx[i] = std::log(x[i]);
+    ly[i] = std::log(y[i]);
+  }
+  const LinearFit lin = fit_linear(lx, ly);
+  return PowerLawFit{lin.slope, lin.intercept, lin.r2};
+}
+
+}  // namespace memreal

@@ -1,0 +1,35 @@
+// Least-squares fitting helpers.
+//
+// The headline comparisons in the paper are growth exponents: folklore is
+// Theta(eps^-1), SIMPLE is O(eps^-2/3), GEO is ~O(eps^-1/2), the lower bound
+// and RSUM are Theta(log eps^-1).  `fit_power_law` recovers the exponent of
+// cost ~ C * (1/eps)^alpha from a sweep; `fit_linear` checks the logarithmic
+// regimes (cost ~ a + b * log(1/eps)).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace memreal {
+
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;  ///< coefficient of determination
+};
+
+/// Ordinary least squares y = intercept + slope * x.
+[[nodiscard]] LinearFit fit_linear(std::span<const double> x,
+                                   std::span<const double> y);
+
+struct PowerLawFit {
+  double exponent = 0.0;   ///< alpha in y ~ C x^alpha
+  double log_coeff = 0.0;  ///< ln C
+  double r2 = 0.0;
+};
+
+/// Fits y ~ C * x^alpha by OLS in log–log space.  All x, y must be > 0.
+[[nodiscard]] PowerLawFit fit_power_law(std::span<const double> x,
+                                        std::span<const double> y);
+
+}  // namespace memreal

@@ -1,0 +1,57 @@
+// A small thread pool and parallel_for used by the sweep harness.
+//
+// Experiment grids (allocator x eps x seed) are embarrassingly parallel;
+// each cell owns its Memory, Allocator and Rng, so cells share nothing.
+// Work is handed out via an atomic index (dynamic scheduling), which keeps
+// the pool balanced even though per-cell cost varies by orders of magnitude
+// across eps.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace memreal {
+
+/// Fixed-size pool of worker threads executing submitted tasks.
+class ThreadPool {
+ public:
+  /// `threads == 0` means hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  void submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have finished.  Rethrows the first
+  /// exception raised by any task.
+  void wait();
+
+  [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::vector<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_done_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+  std::exception_ptr first_error_;
+};
+
+/// Runs fn(i) for i in [0, n) across `threads` threads (0 = all cores).
+/// Exceptions propagate to the caller (first one wins).
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                  std::size_t threads = 0);
+
+}  // namespace memreal

@@ -1,0 +1,70 @@
+// Streaming statistics used by the cost-accounting engine and benches.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace memreal {
+
+/// Accumulates count / mean / variance (Welford) / min / max of a stream.
+class StreamingStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;  ///< population variance
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+  /// Merge another accumulator into this one (parallel reduction).
+  void merge(const StreamingStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Retains samples for exact quantiles.  For the run lengths in this repo
+/// (<= a few hundred thousand updates) exact retention is cheap and avoids
+/// sketch error in the reproduced tables.
+class Quantiles {
+ public:
+  void add(double x) { xs_.push_back(x); }
+  void reserve(std::size_t n) { xs_.reserve(n); }
+
+  [[nodiscard]] std::size_t count() const { return xs_.size(); }
+  /// q in [0, 1]; q = 0.5 is the median, q = 1 the max.  Returns 0 when
+  /// empty.  Not const: sorts lazily.
+  [[nodiscard]] double quantile(double q);
+
+ private:
+  std::vector<double> xs_;
+  bool sorted_ = false;
+};
+
+/// Fixed-width histogram over [lo, hi); values outside are clamped into the
+/// first/last bucket.  Used by benches to show cost distributions.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x);
+  [[nodiscard]] std::size_t bucket_count() const { return counts_.size(); }
+  [[nodiscard]] std::size_t bucket(std::size_t i) const { return counts_[i]; }
+  [[nodiscard]] double bucket_lo(std::size_t i) const;
+  [[nodiscard]] std::size_t total() const { return total_; }
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace memreal

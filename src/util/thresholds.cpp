@@ -1,0 +1,48 @@
+#include "util/thresholds.h"
+
+#include "util/check.h"
+
+namespace memreal {
+
+ContinuousThreshold::ContinuousThreshold(Tick window, Rng& rng)
+    : window_(window), rng_(&rng) {
+  MEMREAL_CHECK_MSG(window >= 2, "window too small to randomize");
+  resample();
+}
+
+void ContinuousThreshold::resample() {
+  threshold_ = rng_->next_tick_in(window_ / 2, window_);
+}
+
+bool ContinuousThreshold::add(Tick amount) {
+  acc_ += amount;
+  if (acc_ < threshold_) return false;
+  // Overflow carries toward the next threshold, per the paper.
+  acc_ -= threshold_;
+  resample();
+  return true;
+}
+
+CountThreshold::CountThreshold(std::uint64_t n, Rng& rng)
+    : lo_(ceil_div(n, 4)), hi_(ceil_div(n, 3)), rng_(&rng) {
+  MEMREAL_CHECK(n >= 1);
+  MEMREAL_CHECK(lo_ >= 1 && lo_ <= hi_);
+  resample();
+}
+
+void CountThreshold::resample() { threshold_ = rng_->next_in(lo_, hi_); }
+
+bool CountThreshold::tick() {
+  ++count_;
+  if (count_ < threshold_) return false;
+  count_ = 0;
+  resample();
+  return true;
+}
+
+void CountThreshold::reset_free() {
+  count_ = 0;
+  resample();
+}
+
+}  // namespace memreal

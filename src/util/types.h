@@ -1,0 +1,44 @@
+// Fundamental value types shared by every memreal subsystem.
+//
+// The paper models memory as the real interval [0, 1].  We discretize it to
+// integer "ticks" so that every correctness invariant (interval
+// disjointness, the resizable bound [0, L + eps], waste budgets) is an exact
+// integer comparison.  The default capacity of 2^50 ticks leaves ample
+// resolution: even eps = 2^-16 and item sizes as small as eps^3 are still
+// millions of ticks.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace memreal {
+
+/// A size or offset measured in ticks.  One memory "unit interval" from the
+/// paper corresponds to `capacity` ticks.
+using Tick = std::uint64_t;
+
+/// Stable identity of an item across moves.  Ids are chosen by the caller
+/// (workload generators use consecutive integers) and are never reused
+/// within a sequence.
+using ItemId = std::uint64_t;
+
+/// Sentinel for "no item".
+inline constexpr ItemId kNoItem = std::numeric_limits<ItemId>::max();
+
+/// Default memory capacity in ticks ("1.0" in the paper's units).
+inline constexpr Tick kDefaultCapacity = Tick{1} << 50;
+
+/// Free-space parameter eps together with its exact tick value.  All
+/// allocator arithmetic uses `ticks`; `value` is kept for computing
+/// fractional powers (eps^{1/3}, sqrt(eps), ...) whose results are rounded
+/// conservatively back to ticks at configuration time.
+struct Eps {
+  double value = 0.0;  ///< eps as a real number in (0, 1).
+  Tick ticks = 0;      ///< floor(eps * capacity).
+
+  static Eps of(double eps, Tick capacity) {
+    return Eps{eps, static_cast<Tick>(eps * static_cast<double>(capacity))};
+  }
+};
+
+}  // namespace memreal

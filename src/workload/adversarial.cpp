@@ -1,0 +1,149 @@
+#include "workload/adversarial.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/check.h"
+
+namespace memreal {
+
+Sequence make_single_class_attack(const SingleClassAttackConfig& c) {
+  const auto cap_d = static_cast<double>(c.capacity);
+  double frac = c.size_fraction;
+  if (frac == 0.0) frac = 2.0 * std::pow(c.eps, 1.25);
+  const auto size = std::max<Tick>(1, static_cast<Tick>(frac * cap_d));
+
+  SequenceBuilder b("single-class-attack", c.capacity, c.eps);
+  Rng rng(c.seed);
+  const auto target =
+      static_cast<Tick>(c.base_load * static_cast<double>(b.budget()));
+  while (b.live_mass() + size <= target) b.insert(size);
+  MEMREAL_CHECK_MSG(b.live_count() >= 2, "attack size too large for load");
+
+  for (std::size_t i = 0; i < c.attack_pairs; ++i) {
+    b.erase_random(rng);
+    b.insert(size);
+  }
+  Sequence out = b.take();
+  out.name = "single-class-attack";
+  return out;
+}
+
+Sequence make_fragmenter(const FragmenterConfig& c) {
+  const auto cap_d = static_cast<double>(c.capacity);
+  Tick small = c.small_size;
+  if (small == 0) small = std::max<Tick>(1, static_cast<Tick>(c.eps * cap_d / 2));
+
+  SequenceBuilder b("fragmenter", c.capacity, c.eps);
+  Rng rng(c.seed);
+  const Tick big = small + small / 2 + 1;  // never fits a small-item gap
+  for (std::size_t round = 0; round < c.rounds; ++round) {
+    // Fill with small items to ~85% of budget.
+    const auto target = b.budget() - b.budget() / 8;
+    while (b.live_mass() + small <= target) b.insert(small);
+    // Delete every other live item, fragmenting half the mass away.
+    // (Deleting from the back keeps erase_at indices stable.)
+    for (std::size_t i = b.live_count(); i >= 2; i -= 2) {
+      b.erase_at(i - 2);
+    }
+    // Refill with larger items that cannot reuse any single gap.
+    while (b.can_insert(big) &&
+           b.live_mass() + big <= target) {
+      b.insert(big);
+    }
+    // Drain most of the large items so the next round starts fresh.
+    while (b.live_count() > 8) b.erase_random(rng);
+  }
+  Sequence out = b.take();
+  out.name = "fragmenter";
+  return out;
+}
+
+Sequence make_sawtooth(const SawtoothConfig& c) {
+  const auto cap_d = static_cast<double>(c.capacity);
+  Tick lo = c.min_size;
+  Tick hi = c.max_size;
+  if (lo == 0) lo = std::max<Tick>(1, static_cast<Tick>(c.eps * cap_d));
+  if (hi == 0) hi = static_cast<Tick>(2.0 * c.eps * cap_d) - 1;
+  MEMREAL_CHECK(lo <= hi);
+  MEMREAL_CHECK(c.low_load < c.high_load);
+
+  SequenceBuilder b("sawtooth", c.capacity, c.eps);
+  Rng rng(c.seed);
+  const auto high =
+      static_cast<Tick>(c.high_load * static_cast<double>(b.budget()));
+  const auto low =
+      static_cast<Tick>(c.low_load * static_cast<double>(b.budget()));
+  for (std::size_t tooth = 0; tooth < c.teeth; ++tooth) {
+    while (b.live_mass() + hi <= high) b.insert(rng.next_in(lo, hi));
+    while (b.live_mass() > low && b.live_count() > 0) b.erase_random(rng);
+  }
+  Sequence out = b.take();
+  out.name = "sawtooth";
+  return out;
+}
+
+Sequence make_mixed_tiny_large(const MixedTinyLargeConfig& c) {
+  const auto cap_d = static_cast<double>(c.capacity);
+  const double e4 = std::pow(c.eps, 4.0);
+  // Tiny: strictly below eps^4 (the Section 4.2 threshold).  Keep the count
+  // bounded (mass is negligible; updates are what matter).
+  const auto tiny_hi = static_cast<Tick>(e4 * cap_d) - 1;
+  const Tick tiny_lo = std::max<Tick>(1, tiny_hi / 4);
+  // Large: log-uniform in [eps^1.5, eps^0.75].
+  const double log_eps = std::log(c.eps);
+
+  SequenceBuilder b("mixed-tiny-large", c.capacity, c.eps);
+  Rng rng(c.seed);
+  auto draw_large = [&]() -> Tick {
+    const double e = 0.75 + 0.75 * rng.next_double();
+    return std::max<Tick>(1, static_cast<Tick>(std::exp(e * log_eps) * cap_d));
+  };
+  auto draw_tiny = [&] { return rng.next_in(tiny_lo, tiny_hi); };
+
+  // Fill: large items carry the mass; a fixed population of tiny items
+  // carries the update traffic.
+  const auto target =
+      static_cast<Tick>(c.target_load * static_cast<double>(b.budget()));
+  std::vector<ItemId> tiny_ids;
+  for (std::size_t i = 0; i < 2000; ++i) tiny_ids.push_back(b.insert(draw_tiny()));
+  while (true) {
+    const Tick s = draw_large();
+    if (b.live_mass() + s > target) break;
+    b.insert(s);
+  }
+
+  // Churn: coin-flip between tiny and large traffic.
+  std::size_t tiny_alive = tiny_ids.size();
+  for (std::size_t i = 0; i < c.churn_updates; i += 2) {
+    if (rng.next_double() < c.tiny_fraction && tiny_alive > 0) {
+      // Delete a random tiny item, insert a fresh one.
+      const std::size_t k =
+          static_cast<std::size_t>(rng.next_below(tiny_alive));
+      b.erase_id(tiny_ids[k]);
+      tiny_ids[k] = tiny_ids[--tiny_alive];
+      tiny_ids[tiny_alive] = b.insert(draw_tiny());
+      ++tiny_alive;
+    } else {
+      // Large churn pair: delete a random *large* item.  Index scan: pick
+      // random live entries until one is large (tiny population is a tiny
+      // fraction of the live count here, usually one try).
+      for (int tries = 0; tries < 64 && b.live_count() > 0; ++tries) {
+        const auto k = static_cast<std::size_t>(rng.next_below(b.live_count()));
+        if (b.size_at(k) > tiny_hi) {
+          b.erase_at(k);
+          break;
+        }
+      }
+      Tick s = draw_large();
+      if (!b.can_insert(s)) continue;
+      b.insert(s);
+    }
+  }
+  Sequence out = b.take();
+  out.name = "mixed-tiny-large";
+  return out;
+}
+
+}  // namespace memreal

@@ -1,0 +1,67 @@
+// Adversarial and structured workloads.
+//
+//  * make_single_class_attack — hammers one GEO size class with
+//    insert/delete pairs; with deterministic rebuild thresholds this forces
+//    periodic expensive rebuilds on predictable updates (ablation T8a).
+//  * make_fragmenter        — builds a maximally fragmented layout, then
+//    inserts items slightly larger than every gap (worst case for
+//    first-fit / windowed folklore).
+//  * make_sawtooth          — grows to high load then shrinks repeatedly,
+//    exercising the resizable guarantee on both flanks.
+//  * make_mixed_tiny_large  — interleaves tiny (< eps^4) and large items,
+//    the regime of Corollary 4.10.
+#pragma once
+
+#include <cstdint>
+
+#include "workload/sequence.h"
+
+namespace memreal {
+
+struct SingleClassAttackConfig {
+  Tick capacity = kDefaultCapacity;
+  double eps = 1.0 / 64;
+  double size_fraction = 0.0;  ///< item size / capacity; 0 = 2*eps^{1.25}
+  double base_load = 0.8;      ///< background fill of same-size items
+  std::size_t attack_pairs = 5'000;
+  std::uint64_t seed = 1;
+};
+
+[[nodiscard]] Sequence make_single_class_attack(
+    const SingleClassAttackConfig& c);
+
+struct FragmenterConfig {
+  Tick capacity = kDefaultCapacity;
+  double eps = 1.0 / 64;
+  Tick small_size = 0;  ///< 0 = eps/2 of capacity
+  std::size_t rounds = 4;
+  std::uint64_t seed = 1;
+};
+
+[[nodiscard]] Sequence make_fragmenter(const FragmenterConfig& c);
+
+struct SawtoothConfig {
+  Tick capacity = kDefaultCapacity;
+  double eps = 1.0 / 64;
+  Tick min_size = 0;  ///< 0 = eps of capacity
+  Tick max_size = 0;  ///< 0 = 2*eps of capacity - 1
+  double high_load = 0.9;
+  double low_load = 0.1;
+  std::size_t teeth = 3;
+  std::uint64_t seed = 1;
+};
+
+[[nodiscard]] Sequence make_sawtooth(const SawtoothConfig& c);
+
+struct MixedTinyLargeConfig {
+  Tick capacity = kDefaultCapacity;
+  double eps = 1.0 / 64;
+  double tiny_fraction = 0.5;  ///< fraction of updates on tiny items
+  double target_load = 0.8;
+  std::size_t churn_updates = 10'000;
+  std::uint64_t seed = 1;
+};
+
+[[nodiscard]] Sequence make_mixed_tiny_large(const MixedTinyLargeConfig& c);
+
+}  // namespace memreal

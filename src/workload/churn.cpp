@@ -1,0 +1,167 @@
+#include "workload/churn.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace memreal {
+
+namespace {
+
+/// Fill phase: insert random sizes drawn by `draw` until the next insert
+/// would push live mass above target_load * budget.
+template <typename Draw>
+void fill_phase(SequenceBuilder& b, double target_load, Draw&& draw,
+                Tick min_size) {
+  const auto target =
+      static_cast<Tick>(target_load * static_cast<double>(b.budget()));
+  for (;;) {
+    const Tick s = draw();
+    if (b.live_mass() + s > target) {
+      // Try the smallest size before giving up, so the fill ends close to
+      // the target rather than a whole max_size short of it.
+      if (b.live_mass() + min_size > target) break;
+      if (!b.can_insert(min_size)) break;
+      b.insert(min_size);
+      continue;
+    }
+    b.insert(s);
+  }
+}
+
+/// Churn phase: alternate delete-random / insert-random while respecting
+/// the promise (retries the draw if the insert would not fit).
+template <typename Draw>
+void churn_phase(SequenceBuilder& b, std::size_t updates, Rng& rng,
+                 Draw&& draw, Tick min_size) {
+  for (std::size_t i = 0; i < updates; ++i) {
+    if (i % 2 == 0 && b.live_count() > 0) {
+      b.erase_random(rng);
+    } else {
+      Tick s = draw();
+      if (!b.can_insert(s)) s = min_size;
+      if (!b.can_insert(s)) {
+        b.erase_random(rng);
+        continue;
+      }
+      b.insert(s);
+    }
+  }
+}
+
+}  // namespace
+
+Sequence make_churn(const ChurnConfig& config) {
+  MEMREAL_CHECK(config.min_size >= 1);
+  MEMREAL_CHECK(config.min_size <= config.max_size);
+  MEMREAL_CHECK(config.target_load > 0.0 && config.target_load <= 1.0);
+  SequenceBuilder b("churn", config.capacity, config.eps);
+  Rng rng(config.seed);
+  auto draw = [&] { return rng.next_in(config.min_size, config.max_size); };
+  fill_phase(b, config.target_load, draw, config.min_size);
+  churn_phase(b, config.churn_updates, rng, draw, config.min_size);
+  Sequence out = b.take();
+  out.name = "churn";
+  return out;
+}
+
+Sequence make_simple_regime(Tick capacity, double eps,
+                            std::size_t churn_updates, std::uint64_t seed,
+                            double target_load) {
+  const auto cap_d = static_cast<double>(capacity);
+  ChurnConfig c;
+  c.capacity = capacity;
+  c.eps = eps;
+  c.min_size = static_cast<Tick>(eps * cap_d);
+  // Sizes in [eps, 2eps): stay strictly below 2eps.
+  c.max_size = static_cast<Tick>(2.0 * eps * cap_d) - 1;
+  c.target_load = target_load;
+  c.churn_updates = churn_updates;
+  c.seed = seed;
+  Sequence out = make_churn(c);
+  out.name = "simple-regime";
+  return out;
+}
+
+Sequence make_geo_regime(const GeoRegimeConfig& config) {
+  MEMREAL_CHECK(config.band_ratio > 1.0);
+  MEMREAL_CHECK(config.huge_fraction >= 0.0 && config.huge_fraction <= 1.0);
+  const auto cap_d = static_cast<double>(config.capacity);
+  SequenceBuilder b("geo-regime", config.capacity, config.eps);
+  Rng rng(config.seed);
+
+  const double huge_lo = std::sqrt(config.eps) / 100.0;
+  const double hi_frac = huge_lo / 2.0;
+  const double lo_frac =
+      std::max(hi_frac / config.band_ratio, std::pow(config.eps, 5.0) * 2);
+  MEMREAL_CHECK_MSG(lo_frac < hi_frac, "geo regime: size band empty");
+  const double band = std::log(hi_frac / lo_frac);
+  auto draw_non_huge = [&]() -> Tick {
+    const double s = lo_frac * std::exp(band * rng.next_double());
+    return std::max<Tick>(1, static_cast<Tick>(s * cap_d));
+  };
+  auto draw = [&]() -> Tick {
+    if (config.huge_fraction > 0.0 &&
+        rng.next_double() < config.huge_fraction) {
+      // Huge: log-uniform in [sqrt(eps)/100, sqrt(eps)).
+      const double t = rng.next_double();
+      const double s = huge_lo * std::pow(100.0, t);
+      return std::max<Tick>(1, static_cast<Tick>(s * cap_d));
+    }
+    return draw_non_huge();
+  };
+
+  const Tick min_size = std::max<Tick>(1, static_cast<Tick>(lo_frac * cap_d));
+  fill_phase(b, config.target_load, draw, min_size);
+  churn_phase(b, config.churn_updates, rng, draw, min_size);
+  Sequence out = b.take();
+  out.name = "geo-regime";
+  return out;
+}
+
+Sequence make_discrete_churn(const DiscreteChurnConfig& c) {
+  MEMREAL_CHECK(c.distinct_sizes >= 1);
+  MEMREAL_CHECK(c.zipf_s >= 0.0);
+  const auto cap_d = static_cast<double>(c.capacity);
+  Tick lo = c.min_size;
+  Tick hi = c.max_size;
+  if (lo == 0) lo = std::max<Tick>(1, static_cast<Tick>(c.eps * cap_d));
+  if (hi == 0) hi = static_cast<Tick>(2.0 * c.eps * cap_d) - 1;
+  MEMREAL_CHECK(lo <= hi);
+
+  SequenceBuilder b("discrete-churn", c.capacity, c.eps);
+  Rng rng(c.seed);
+  // Fix the size palette up front (distinct values).
+  std::vector<Tick> sizes;
+  while (sizes.size() < c.distinct_sizes) {
+    const Tick s = rng.next_in(lo, hi);
+    if (std::find(sizes.begin(), sizes.end(), s) == sizes.end()) {
+      sizes.push_back(s);
+    }
+  }
+  // Zipf weights over palette ranks (s = 0 degenerates to uniform).
+  std::vector<double> cum(sizes.size());
+  double total = 0;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), c.zipf_s);
+    cum[i] = total;
+  }
+  auto draw = [&]() -> Tick {
+    const double u = rng.next_double() * total;
+    const auto it = std::lower_bound(cum.begin(), cum.end(), u);
+    return sizes[std::min<std::size_t>(
+        static_cast<std::size_t>(it - cum.begin()), sizes.size() - 1)];
+  };
+
+  // The fill/churn fallback size must come from the palette, or the
+  // stream would grow an extra distinct size.
+  const Tick pal_min = *std::min_element(sizes.begin(), sizes.end());
+  fill_phase(b, c.target_load, draw, pal_min);
+  churn_phase(b, c.churn_updates, rng, draw, pal_min);
+  Sequence out = b.take();
+  out.name = "discrete-churn";
+  return out;
+}
+
+}  // namespace memreal

@@ -1,0 +1,75 @@
+// Churn workloads: fill memory toward a target load, then alternate random
+// deletes with random-size inserts.  These are the steady-state regimes the
+// theorems are stated for:
+//
+//   * make_churn with band [eps, 2eps)        — Theorem 3.1's regime
+//   * make_churn with band [eps^a, eps^b]     — Theorem 4.1's regime
+//   * make_churn with band (0, eps^4)         — tiny items for FLEXHASH
+#pragma once
+
+#include <cstdint>
+
+#include "workload/sequence.h"
+
+namespace memreal {
+
+struct ChurnConfig {
+  Tick capacity = kDefaultCapacity;
+  double eps = 1.0 / 64;
+  Tick min_size = 0;  ///< inclusive; must be >= 1
+  Tick max_size = 0;  ///< inclusive
+  /// Fill until live mass reaches this fraction of the budget
+  /// (capacity - eps); churn keeps the load near this level.
+  double target_load = 0.9;
+  std::size_t churn_updates = 10'000;  ///< updates after the fill phase
+  std::uint64_t seed = 1;
+};
+
+/// Uniform sizes in [min_size, max_size].
+[[nodiscard]] Sequence make_churn(const ChurnConfig& config);
+
+/// Convenience: Theorem 3.1's regime — sizes uniform in [eps, 2eps) of
+/// capacity, load driven to `target_load`.
+[[nodiscard]] Sequence make_simple_regime(Tick capacity, double eps,
+                                          std::size_t churn_updates,
+                                          std::uint64_t seed,
+                                          double target_load = 0.9);
+
+/// Theorem 4.1's regime — non-huge sizes log-uniform over a geometric band
+/// just below GEO's huge threshold sqrt(eps)/100 (log-uniform exercises the
+/// geometric size classes evenly), optionally mixed with a stream of
+/// "huge" items in [sqrt(eps)/100, sqrt(eps)).
+struct GeoRegimeConfig {
+  Tick capacity = kDefaultCapacity;
+  double eps = 1.0 / 64;
+  /// Non-huge sizes are log-uniform in [hi/band_ratio, hi] where
+  /// hi = sqrt(eps)/200.  Larger ratios mean more, smaller items.
+  double band_ratio = 256.0;
+  double huge_fraction = 0.0;  ///< fraction of inserts that are huge
+  double target_load = 0.85;
+  std::size_t churn_updates = 10'000;
+  std::uint64_t seed = 1;
+};
+
+[[nodiscard]] Sequence make_geo_regime(const GeoRegimeConfig& config);
+
+/// Churn over a *fixed set* of k distinct sizes (the "structured sizes"
+/// regime of the paper's conclusion, served by the DISCRETE allocator).
+/// Sizes are drawn from [min_size, max_size] once, then items are sampled
+/// from them — uniformly, or Zipf-weighted with parameter `zipf_s` (0 =
+/// uniform), modelling real allocators' heavily skewed size-class usage.
+struct DiscreteChurnConfig {
+  Tick capacity = kDefaultCapacity;
+  double eps = 1.0 / 64;
+  std::size_t distinct_sizes = 8;
+  Tick min_size = 0;  ///< 0 = eps of capacity
+  Tick max_size = 0;  ///< 0 = 2*eps of capacity - 1
+  double zipf_s = 0.0;
+  double target_load = 0.9;
+  std::size_t churn_updates = 10'000;
+  std::uint64_t seed = 1;
+};
+
+[[nodiscard]] Sequence make_discrete_churn(const DiscreteChurnConfig& c);
+
+}  // namespace memreal

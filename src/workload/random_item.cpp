@@ -1,0 +1,45 @@
+#include "workload/random_item.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace memreal {
+
+std::size_t random_item_count(double delta) {
+  MEMREAL_CHECK(delta > 0.0 && delta < 1.0);
+  return static_cast<std::size_t>(std::floor(1.0 / delta / 4.0));
+}
+
+Sequence make_random_item_sequence(const RandomItemConfig& c) {
+  double delta = c.delta;
+  if (delta == 0.0) delta = std::pow(c.eps, 0.75);
+  MEMREAL_CHECK_MSG(delta < 0.5, "delta too large to fit any items");
+
+  const auto cap_d = static_cast<double>(c.capacity);
+  const auto lo = static_cast<Tick>(delta * cap_d);
+  const auto hi = static_cast<Tick>(2.0 * delta * cap_d);
+  MEMREAL_CHECK(lo >= 1 && lo < hi);
+
+  SequenceBuilder b("random-item", c.capacity, c.eps);
+  Rng rng(c.seed);
+  const std::size_t n = random_item_count(delta);
+  MEMREAL_CHECK_MSG(n >= 1, "delta too large: zero items");
+
+  // Fill: n items with sizes uniform in [delta, 2delta].  Worst-case mass
+  // is n * 2delta <= delta^-1/4 * 2delta = 1/2 < 1 - eps, so the promise
+  // always holds.
+  for (std::size_t i = 0; i < n; ++i) {
+    b.insert(rng.next_in(lo, hi));
+  }
+  // Churn: alternate delete-random / insert-random.
+  for (std::size_t i = 0; i < c.churn_pairs; ++i) {
+    b.erase_random(rng);
+    b.insert(rng.next_in(lo, hi));
+  }
+  Sequence out = b.take();
+  out.name = "random-item";
+  return out;
+}
+
+}  // namespace memreal

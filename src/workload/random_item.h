@@ -1,0 +1,28 @@
+// The delta-random-item sequences of Section 6.
+//
+// "The first floor(delta^-1/4) updates are inserts of items with sizes
+// chosen randomly from [delta, 2delta].  Then, the sequence alternates
+// between a deletion of a random item and an insertion of an item with size
+// chosen randomly from [delta, 2delta]."
+#pragma once
+
+#include <cstdint>
+
+#include "workload/sequence.h"
+
+namespace memreal {
+
+struct RandomItemConfig {
+  Tick capacity = kDefaultCapacity;
+  double eps = 1.0 / 256;
+  double delta = 0.0;  ///< 0 means delta = eps^{3/4} (a poly(eps) default)
+  std::size_t churn_pairs = 5'000;  ///< delete+insert pairs after the fill
+  std::uint64_t seed = 1;
+};
+
+/// Number of items the sequence keeps live: floor(delta^-1 / 4).
+[[nodiscard]] std::size_t random_item_count(double delta);
+
+[[nodiscard]] Sequence make_random_item_sequence(const RandomItemConfig& c);
+
+}  // namespace memreal

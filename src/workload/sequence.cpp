@@ -1,0 +1,87 @@
+#include "workload/sequence.h"
+
+#include <unordered_map>
+
+#include "util/check.h"
+
+namespace memreal {
+
+void Sequence::check_well_formed() const {
+  MEMREAL_CHECK(capacity > 0);
+  MEMREAL_CHECK(eps_ticks < capacity);
+  std::unordered_map<ItemId, Tick> live;
+  Tick mass = 0;
+  for (const Update& u : updates) {
+    MEMREAL_CHECK(u.size > 0);
+    if (u.is_insert()) {
+      MEMREAL_CHECK_MSG(live.emplace(u.id, u.size).second,
+                        "duplicate live id " << u.id);
+      mass += u.size;
+      MEMREAL_CHECK_MSG(mass + eps_ticks <= capacity,
+                        "sequence violates load-factor promise at id "
+                            << u.id);
+    } else {
+      auto it = live.find(u.id);
+      MEMREAL_CHECK_MSG(it != live.end(), "delete of absent id " << u.id);
+      MEMREAL_CHECK_MSG(it->second == u.size, "delete size mismatch");
+      mass -= it->second;
+      live.erase(it);
+    }
+  }
+}
+
+SequenceBuilder::SequenceBuilder(std::string name, Tick capacity, double eps)
+    : capacity_(capacity) {
+  MEMREAL_CHECK(eps > 0.0 && eps < 1.0);
+  eps_ticks_ = static_cast<Tick>(eps * static_cast<double>(capacity));
+  MEMREAL_CHECK(eps_ticks_ > 0);
+  seq_.name = std::move(name);
+  seq_.capacity = capacity;
+  seq_.eps = eps;
+  seq_.eps_ticks = eps_ticks_;
+}
+
+ItemId SequenceBuilder::insert(Tick size) {
+  MEMREAL_CHECK(size > 0);
+  MEMREAL_CHECK_MSG(can_insert(size),
+                    "insert of " << size << " would break the promise");
+  const ItemId id = next_id_++;
+  live_.push_back(Live{id, size});
+  live_mass_ += size;
+  seq_.updates.push_back(Update::insert(id, size));
+  return id;
+}
+
+void SequenceBuilder::erase_at(std::size_t index) {
+  MEMREAL_CHECK(index < live_.size());
+  const Live victim = live_[index];
+  live_[index] = live_.back();
+  live_.pop_back();
+  live_mass_ -= victim.size;
+  seq_.updates.push_back(Update::erase(victim.id, victim.size));
+}
+
+void SequenceBuilder::erase_random(Rng& rng) {
+  MEMREAL_CHECK(!live_.empty());
+  erase_at(static_cast<std::size_t>(rng.next_below(live_.size())));
+}
+
+void SequenceBuilder::erase_id(ItemId id) {
+  for (std::size_t i = 0; i < live_.size(); ++i) {
+    if (live_[i].id == id) {
+      erase_at(i);
+      return;
+    }
+  }
+  MEMREAL_CHECK_MSG(false, "erase_id: id " << id << " not live");
+}
+
+Sequence SequenceBuilder::take() {
+  Sequence out = std::move(seq_);
+  seq_ = Sequence{};
+  live_.clear();
+  live_mass_ = 0;
+  return out;
+}
+
+}  // namespace memreal

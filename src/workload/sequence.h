@@ -1,0 +1,81 @@
+// Update sequences and the builder that guarantees the adversary's promise.
+//
+// All generators produce a Sequence *offline* (fixed before the allocator
+// draws any randomness), matching the paper's oblivious-adversary model.
+// The builder tracks the live set so that every prefix respects
+// live mass <= capacity - eps.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/update.h"
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace memreal {
+
+struct Sequence {
+  std::string name;
+  Tick capacity = kDefaultCapacity;
+  double eps = 0.0;
+  Tick eps_ticks = 0;
+  std::vector<Update> updates;
+
+  [[nodiscard]] std::size_t size() const { return updates.size(); }
+
+  /// Replays the sequence against a virtual live set and checks the
+  /// adversary's promise plus well-formedness (no duplicate live ids, no
+  /// delete of absent items).  Throws InvariantViolation on failure.
+  void check_well_formed() const;
+};
+
+/// Incrementally builds a well-formed sequence.
+class SequenceBuilder {
+ public:
+  SequenceBuilder(std::string name, Tick capacity, double eps);
+
+  /// Max mass the adversary may have live.
+  [[nodiscard]] Tick budget() const { return capacity_ - eps_ticks_; }
+  [[nodiscard]] Tick live_mass() const { return live_mass_; }
+  [[nodiscard]] std::size_t live_count() const { return live_.size(); }
+  [[nodiscard]] bool can_insert(Tick size) const {
+    return live_mass_ + size <= budget();
+  }
+
+  /// Inserts a fresh item of `size`; returns its id.
+  ItemId insert(Tick size);
+
+  /// Deletes the live item at `index` (in insertion-compacted order).
+  void erase_at(std::size_t index);
+
+  /// Deletes a uniformly random live item.
+  void erase_random(Rng& rng);
+
+  /// Deletes a specific live id (linear scan; for scripted adversaries).
+  void erase_id(ItemId id);
+
+  [[nodiscard]] Tick size_at(std::size_t index) const {
+    return live_[index].size;
+  }
+  [[nodiscard]] ItemId id_at(std::size_t index) const {
+    return live_[index].id;
+  }
+
+  [[nodiscard]] Sequence take();
+
+ private:
+  struct Live {
+    ItemId id;
+    Tick size;
+  };
+
+  Sequence seq_;
+  std::vector<Live> live_;
+  Tick live_mass_ = 0;
+  ItemId next_id_ = 1;
+  Tick capacity_;
+  Tick eps_ticks_;
+};
+
+}  // namespace memreal

@@ -1,0 +1,61 @@
+#include "workload/trace.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace memreal {
+
+void write_trace(const Sequence& seq, std::ostream& os) {
+  os << "# memreal trace: " << seq.name << "\n";
+  os << "H " << seq.capacity << ' ' << seq.eps << ' ' << seq.name << "\n";
+  for (const Update& u : seq.updates) {
+    os << (u.is_insert() ? 'I' : 'D') << ' ' << u.id << ' ' << u.size << "\n";
+  }
+}
+
+Sequence read_trace(std::istream& is) {
+  Sequence seq;
+  bool have_header = false;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    char tag = 0;
+    ls >> tag;
+    if (tag == 'H') {
+      ls >> seq.capacity >> seq.eps >> seq.name;
+      MEMREAL_CHECK_MSG(static_cast<bool>(ls), "malformed trace header");
+      seq.eps_ticks =
+          static_cast<Tick>(seq.eps * static_cast<double>(seq.capacity));
+      have_header = true;
+    } else if (tag == 'I' || tag == 'D') {
+      MEMREAL_CHECK_MSG(have_header, "trace line before header");
+      ItemId id = 0;
+      Tick size = 0;
+      ls >> id >> size;
+      MEMREAL_CHECK_MSG(static_cast<bool>(ls), "malformed trace line: " << line);
+      seq.updates.push_back(tag == 'I' ? Update::insert(id, size)
+                                       : Update::erase(id, size));
+    } else {
+      MEMREAL_CHECK_MSG(false, "unknown trace tag '" << tag << "'");
+    }
+  }
+  MEMREAL_CHECK_MSG(have_header, "trace without header");
+  return seq;
+}
+
+std::string trace_to_string(const Sequence& seq) {
+  std::ostringstream os;
+  write_trace(seq, os);
+  return os.str();
+}
+
+Sequence trace_from_string(const std::string& text) {
+  std::istringstream is(text);
+  return read_trace(is);
+}
+
+}  // namespace memreal

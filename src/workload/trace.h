@@ -1,0 +1,19 @@
+// Trace serialization: record a Sequence to a plain-text stream and replay
+// it later.  Lines are "# comment", "H capacity eps" (header), "I id size",
+// and "D id size".
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "workload/sequence.h"
+
+namespace memreal {
+
+void write_trace(const Sequence& seq, std::ostream& os);
+[[nodiscard]] Sequence read_trace(std::istream& is);
+
+[[nodiscard]] std::string trace_to_string(const Sequence& seq);
+[[nodiscard]] Sequence trace_from_string(const std::string& text);
+
+}  // namespace memreal

@@ -1,0 +1,174 @@
+// DISCRETE (the conclusion's "structured sizes" extension): exact-size
+// covering pools, zero waste, adaptive rebuild period.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "alloc/discrete.h"
+#include "testing.h"
+#include "util/fit.h"
+#include "workload/churn.h"
+
+namespace memreal {
+namespace {
+
+constexpr Tick kCap = Tick{1} << 40;
+
+Sequence k_sizes(double eps, std::size_t k, std::size_t updates,
+                 std::uint64_t seed, double zipf = 0.0) {
+  DiscreteChurnConfig c;
+  c.capacity = kCap;
+  c.eps = eps;
+  c.distinct_sizes = k;
+  c.churn_updates = updates;
+  c.seed = seed;
+  c.zipf_s = zipf;
+  return make_discrete_churn(c);
+}
+
+TEST(DiscreteWorkload, PaletteIsExactlyK) {
+  const Sequence s = k_sizes(1.0 / 32, 5, 500, 1);
+  s.check_well_formed();
+  std::set<Tick> sizes;
+  for (const Update& u : s.updates) sizes.insert(u.size);
+  EXPECT_EQ(sizes.size(), 5u);
+}
+
+TEST(DiscreteWorkload, ZipfSkewsPopularity) {
+  const Sequence s = k_sizes(1.0 / 32, 8, 4000, 2, /*zipf=*/1.2);
+  std::map<Tick, std::size_t> hist;
+  for (const Update& u : s.updates) {
+    if (u.is_insert()) ++hist[u.size];
+  }
+  std::vector<std::size_t> counts;
+  for (const auto& [sz, n] : hist) counts.push_back(n);
+  std::sort(counts.begin(), counts.end());
+  // The most popular size dominates the least popular by a wide margin.
+  EXPECT_GT(counts.back(), 4 * counts.front());
+}
+
+TEST(Discrete, ZeroWasteAlways) {
+  const Sequence seq = k_sizes(1.0 / 32, 6, 800, 3);
+  ValidationPolicy policy;
+  policy.every_n_updates = 1;
+  Memory mem(seq.capacity, seq.eps_ticks, policy);
+  DiscreteAllocator alloc(mem);
+  EngineOptions opts;
+  opts.check_invariants_every = 1;
+  Engine engine(mem, alloc, opts);
+  for (const Update& u : seq.updates) {
+    engine.step(u);
+    // Perfect contiguity: stronger than the resizable bound.
+    EXPECT_EQ(mem.span_end(), mem.live_mass());
+    EXPECT_EQ(mem.extent_mass(), mem.live_mass());
+  }
+}
+
+TEST(Discrete, SwapIsExactFit) {
+  Memory mem = testing::strict_memory(kCap, 1.0 / 8);
+  DiscreteConfig c;
+  c.rebuild_period = 2;
+  DiscreteAllocator alloc(mem, c);
+  Engine engine(mem, alloc);
+  const Tick s = kCap / 16;
+  for (ItemId i = 1; i <= 6; ++i) engine.step(Update::insert(i, s));
+  // After the rebuild at update 7, some items are outside the covering set.
+  engine.step(Update::insert(7, s));
+  const auto before = mem.snapshot();
+  engine.step(Update::erase(before.front().id, s));
+  // Still perfectly packed.
+  EXPECT_EQ(mem.span_end(), mem.live_mass());
+  alloc.check_invariants();
+}
+
+TEST(Discrete, RejectsTooManyDistinctSizes) {
+  Memory mem = testing::strict_memory(kCap, 1.0 / 8);
+  DiscreteConfig c;
+  c.max_distinct_sizes = 3;
+  DiscreteAllocator alloc(mem, c);
+  Engine engine(mem, alloc);
+  engine.step(Update::insert(1, 1000));
+  engine.step(Update::insert(2, 1001));
+  engine.step(Update::insert(3, 1002));
+  EXPECT_THROW(engine.step(Update::insert(4, 1003)), InvariantViolation);
+}
+
+TEST(Discrete, AdaptivePeriodTracksSqrtNOverK) {
+  const Sequence seq = k_sizes(1.0 / 256, 4, 2000, 5);
+  ValidationPolicy policy;
+  policy.every_n_updates = 64;
+  Memory mem(seq.capacity, seq.eps_ticks, policy);
+  DiscreteAllocator alloc(mem);
+  Engine engine(mem, alloc);
+  engine.run(seq.updates);
+  // n ~ 0.9 / (1.5 eps) ~ 154 live items, k = 4: sqrt(n/k) ~ 6.
+  EXPECT_GE(alloc.current_period(), 3u);
+  EXPECT_LE(alloc.current_period(), 16u);
+  EXPECT_EQ(alloc.distinct_sizes(), 4u);
+}
+
+TEST(Discrete, BeatsSimpleOnFewSizes) {
+  const double eps = 1.0 / 512;
+  const Sequence seq = k_sizes(eps, 4, 6000, 7);
+  ValidationPolicy policy;
+  policy.every_n_updates = 512;
+  auto run = [&](const char* name) {
+    Memory mem(seq.capacity, seq.eps_ticks, policy);
+    AllocatorParams p;
+    p.eps = eps;
+    p.seed = 3;
+    auto alloc = make_allocator(name, mem, p);
+    Engine engine(mem, *alloc);
+    return engine.run(seq.updates).mean_cost();
+  };
+  const double discrete = run("discrete");
+  const double simple = run("simple");
+  const double folklore = run("folklore-compact");
+  EXPECT_LT(discrete, simple);
+  EXPECT_LT(discrete, folklore);
+}
+
+TEST(Discrete, DrainLeavesMemoryEmpty) {
+  Memory mem = testing::strict_memory(kCap, 1.0 / 8);
+  DiscreteAllocator alloc(mem);
+  Engine engine(mem, alloc);
+  const Tick s = kCap / 32;
+  for (ItemId i = 1; i <= 8; ++i) {
+    engine.step(Update::insert(i, s + (i % 2) * 7));
+  }
+  for (ItemId i = 1; i <= 8; ++i) {
+    engine.step(Update::erase(i, s + (i % 2) * 7));
+  }
+  EXPECT_EQ(mem.item_count(), 0u);
+  EXPECT_EQ(alloc.distinct_sizes(), 0u);
+  alloc.check_invariants();
+}
+
+// Parameterized sweep: invariants across eps, k, zipf and seeds.
+struct DiscreteParam {
+  double eps;
+  std::size_t k;
+  double zipf;
+  std::uint64_t seed;
+};
+
+class DiscreteSweep : public ::testing::TestWithParam<DiscreteParam> {};
+
+TEST_P(DiscreteSweep, InvariantsHold) {
+  const auto [eps, k, zipf, seed] = GetParam();
+  const Sequence seq = k_sizes(eps, k, 600, seed, zipf);
+  const RunStats s = testing::run_with_invariants("discrete", seq, seed);
+  EXPECT_GT(s.updates, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DiscreteSweep,
+    ::testing::Values(DiscreteParam{1.0 / 16, 1, 0.0, 1},
+                      DiscreteParam{1.0 / 16, 2, 0.0, 2},
+                      DiscreteParam{1.0 / 64, 4, 0.0, 1},
+                      DiscreteParam{1.0 / 64, 8, 1.0, 2},
+                      DiscreteParam{1.0 / 256, 16, 0.8, 1},
+                      DiscreteParam{1.0 / 256, 32, 1.5, 2}));
+
+}  // namespace
+}  // namespace memreal

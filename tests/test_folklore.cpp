@@ -1,0 +1,157 @@
+// Folklore baselines: correctness under churn, the O(eps^-1) cost shape,
+// resizable behaviour (compacting variant), pigeonhole fallback (windowed).
+#include <gtest/gtest.h>
+
+#include "alloc/folklore.h"
+#include "testing.h"
+#include "workload/adversarial.h"
+#include "workload/churn.h"
+
+namespace memreal {
+namespace {
+
+constexpr Tick kCap = Tick{1} << 40;
+
+Sequence churn_seq(double eps, std::size_t updates, std::uint64_t seed) {
+  ChurnConfig c;
+  c.capacity = kCap;
+  c.eps = eps;
+  c.min_size = static_cast<Tick>(eps * static_cast<double>(kCap));
+  c.max_size = 2 * c.min_size - 1;
+  c.churn_updates = updates;
+  c.seed = seed;
+  return make_churn(c);
+}
+
+TEST(FolkloreCompact, SurvivesChurnWithFullValidation) {
+  const RunStats s =
+      testing::run_with_invariants("folklore-compact", churn_seq(0.1, 500, 1));
+  EXPECT_GT(s.updates, 500u);
+}
+
+TEST(FolkloreCompact, EmptiesCleanly) {
+  Memory mem = testing::strict_memory(kCap, 0.25);
+  FolkloreCompact alloc(mem);
+  Engine engine(mem, alloc);
+  const Tick size = kCap / 8;
+  for (ItemId i = 1; i <= 4; ++i) engine.step(Update::insert(i, size));
+  for (ItemId i = 1; i <= 4; ++i) engine.step(Update::erase(i, size));
+  EXPECT_EQ(mem.item_count(), 0u);
+  EXPECT_EQ(mem.live_mass(), 0u);
+}
+
+TEST(FolkloreCompact, FirstFitReusesGaps) {
+  Memory mem = testing::strict_memory(1000, 0.4);
+  FolkloreCompact alloc(mem);
+  Engine engine(mem, alloc);
+  engine.step(Update::insert(1, 100));
+  engine.step(Update::insert(2, 100));
+  engine.step(Update::insert(3, 100));
+  // Delete the middle item: gap of 100 at offset 100, waste 100 <= eps/2.
+  engine.step(Update::erase(2, 100));
+  // A 50-tick insert must land in the gap at offset 100 (first fit).
+  engine.step(Update::insert(4, 50));
+  EXPECT_EQ(mem.offset_of(4), 100u);
+}
+
+TEST(FolkloreCompact, CompactsWhenWasteExceedsHalfEps) {
+  Memory mem = testing::strict_memory(1000, 0.2);  // eps = 200 ticks
+  FolkloreCompact alloc(mem);
+  Engine engine(mem, alloc);
+  for (ItemId i = 1; i <= 6; ++i) engine.step(Update::insert(i, 60));
+  // Deleting two non-adjacent items wastes 120 > 100 = eps/2 -> compaction.
+  engine.step(Update::erase(1, 60));
+  EXPECT_EQ(alloc.compactions(), 0u);  // waste 60 <= 100
+  engine.step(Update::erase(3, 60));
+  EXPECT_EQ(alloc.compactions(), 1u);
+  // After compaction the layout is contiguous from 0.
+  EXPECT_EQ(mem.span_end(), mem.live_mass());
+}
+
+TEST(FolkloreCompact, DeleteOfLastItemShrinksSpan) {
+  Memory mem = testing::strict_memory(1000, 0.2);
+  FolkloreCompact alloc(mem);
+  Engine engine(mem, alloc);
+  engine.step(Update::insert(1, 100));
+  engine.step(Update::insert(2, 100));
+  engine.step(Update::erase(2, 100));
+  EXPECT_EQ(mem.span_end(), 100u);
+  EXPECT_EQ(alloc.compactions(), 0u);  // no interior waste
+}
+
+TEST(FolkloreWindowed, SurvivesChurn) {
+  const RunStats s = testing::run_with_invariants("folklore-windowed",
+                                                  churn_seq(0.1, 500, 2));
+  EXPECT_GT(s.updates, 500u);
+}
+
+TEST(FolkloreWindowed, DeletesAreFree) {
+  Memory mem = testing::strict_memory(kCap, 0.25);
+  FolkloreWindowed alloc(mem);
+  Engine engine(mem, alloc);
+  engine.step(Update::insert(1, kCap / 8));
+  EXPECT_DOUBLE_EQ(engine.step(Update::erase(1, kCap / 8)), 0.0);
+}
+
+TEST(FolkloreWindowed, PigeonholeTriggersUnderFragmentation) {
+  FragmenterConfig c;
+  c.capacity = kCap;
+  c.eps = 1.0 / 16;
+  c.rounds = 3;
+  const Sequence seq = make_fragmenter(c);
+  ValidationPolicy policy;
+  policy.every_n_updates = 1;
+  Memory mem(seq.capacity, seq.eps_ticks, policy);
+  FolkloreWindowed alloc(mem);
+  Engine engine(mem, alloc);
+  engine.run(seq.updates);
+  EXPECT_GT(alloc.windowed_inserts(), 0u);
+}
+
+TEST(FolkloreWindowed, CostBoundedByEpsInverse) {
+  FragmenterConfig c;
+  c.capacity = kCap;
+  c.eps = 1.0 / 16;
+  c.rounds = 3;
+  const Sequence seq = make_fragmenter(c);
+  ValidationPolicy policy;
+  policy.every_n_updates = 1;
+  Memory mem(seq.capacity, seq.eps_ticks, policy);
+  FolkloreWindowed alloc(mem);
+  Engine engine(mem, alloc);
+  const RunStats s = engine.run(seq.updates);
+  // Windowed insert cost <= W/k + 1 = 3/eps + 1.
+  EXPECT_LE(s.max_cost(), 3.0 / c.eps + 1.0);
+}
+
+// Parameterized property sweep: both baselines respect all memory-model
+// invariants across eps and seeds.
+struct FolkloreParam {
+  const char* name;
+  double eps;
+  std::uint64_t seed;
+};
+
+class FolkloreSweep : public ::testing::TestWithParam<FolkloreParam> {};
+
+TEST_P(FolkloreSweep, InvariantsHoldUnderChurn) {
+  const auto [name, eps, seed] = GetParam();
+  const RunStats s =
+      testing::run_with_invariants(name, churn_seq(eps, 400, seed));
+  // Folklore cost can never exceed ~3/eps + 1 per update.
+  EXPECT_LE(s.max_cost(), 3.0 / eps + 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FolkloreSweep,
+    ::testing::Values(FolkloreParam{"folklore-compact", 1.0 / 8, 1},
+                      FolkloreParam{"folklore-compact", 1.0 / 16, 2},
+                      FolkloreParam{"folklore-compact", 1.0 / 32, 3},
+                      FolkloreParam{"folklore-compact", 1.0 / 64, 4},
+                      FolkloreParam{"folklore-windowed", 1.0 / 8, 1},
+                      FolkloreParam{"folklore-windowed", 1.0 / 16, 2},
+                      FolkloreParam{"folklore-windowed", 1.0 / 32, 3},
+                      FolkloreParam{"folklore-windowed", 1.0 / 64, 4}));
+
+}  // namespace
+}  // namespace memreal

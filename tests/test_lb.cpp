@@ -1,0 +1,144 @@
+// Theorem 5.1: lower-bound sequence structure, the no-additive-structure
+// property, the potential function, and the certifier (measured cost of
+// every runnable allocator dominates the potential-derived floor).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lb/lower_bound.h"
+#include "lb/potential.h"
+#include "testing.h"
+
+namespace memreal {
+namespace {
+
+constexpr Tick kCap = Tick{1} << 50;
+
+TEST(LowerBound, SpecMatchesPaper) {
+  const auto spec = make_lower_bound_spec(kCap, 1.0 / 256);
+  EXPECT_EQ(spec.n, 4u);  // eps^{-1/2}/4 = 16/4
+  EXPECT_EQ(spec.s2,
+            static_cast<Tick>(std::sqrt(1.0 / 256) *
+                              static_cast<double>(kCap)));
+  EXPECT_EQ(spec.s1, spec.s2 + 2 * spec.eps_ticks);
+}
+
+TEST(LowerBound, SequenceShape) {
+  const auto spec = make_lower_bound_spec(kCap, 1.0 / 1024);
+  const Sequence seq = make_lower_bound_sequence(spec);
+  seq.check_well_formed();
+  ASSERT_EQ(seq.size(), 3 * spec.n);
+  for (std::size_t i = 0; i < spec.n; ++i) {
+    EXPECT_TRUE(seq.updates[i].is_insert());
+    EXPECT_EQ(seq.updates[i].size, spec.s1);
+  }
+  for (std::size_t i = spec.n; i < 3 * spec.n; i += 2) {
+    EXPECT_FALSE(seq.updates[i].is_insert());
+    EXPECT_EQ(seq.updates[i].size, spec.s1);
+    EXPECT_TRUE(seq.updates[i + 1].is_insert());
+    EXPECT_EQ(seq.updates[i + 1].size, spec.s2);
+  }
+}
+
+TEST(LowerBound, NoAdditiveStructure) {
+  for (double eps : {1.0 / 64, 1.0 / 256, 1.0 / 1024}) {
+    const auto spec = make_lower_bound_spec(kCap, eps);
+    // |l1 s1 - l2 s2| >= 2 eps for all non-zero (l1, l2) in [0, n]^2.
+    EXPECT_GE(min_additive_gap(spec), 2 * spec.eps_ticks) << "eps=" << eps;
+  }
+}
+
+TEST(LowerBound, FloorGrowsLogarithmically) {
+  double prev = 0;
+  for (double eps : {1.0 / 256, 1.0 / 1024, 1.0 / 4096, 1.0 / 16384}) {
+    const auto spec = make_lower_bound_spec(kCap, eps);
+    const double f = spec.amortized_floor();
+    EXPECT_GT(f, prev);
+    prev = f;
+  }
+  // Quadrupling eps^-1 doubles n: the floor gain per step approaches
+  // ln(2)/6 * (s2/s1); check the growth is roughly additive (log shape).
+  const double f1 =
+      make_lower_bound_spec(kCap, 1.0 / 1024).amortized_floor();
+  const double f2 =
+      make_lower_bound_spec(kCap, 1.0 / 4096).amortized_floor();
+  const double f3 =
+      make_lower_bound_spec(kCap, 1.0 / 16384).amortized_floor();
+  EXPECT_NEAR(f3 - f2, f2 - f1, 0.05);
+}
+
+TEST(Potential, PhiOfKnownLayouts) {
+  // Layout: [A A B] with n = 3 (offset order).  From the end: i=1 item B
+  // (B_1 = 1), i=2 (B_2 = 1), i=3 (B_3 = 1).
+  std::vector<PlacedItem> snap{
+      PlacedItem{1, 0, 10, 10},    // A
+      PlacedItem{2, 10, 10, 10},   // A
+      PlacedItem{10, 20, 10, 10},  // B
+  };
+  const auto is_b = [](ItemId id) { return id >= 10; };
+  EXPECT_NEAR(potential_phi(snap, is_b, 3), 1.0 + 0.5 + 1.0 / 3, 1e-12);
+  // Only the final 2 items count when n = 2.
+  EXPECT_NEAR(potential_phi(snap, is_b, 2), 1.0 + 0.5, 1e-12);
+  // All A's: zero.
+  const auto no_b = [](ItemId) { return false; };
+  EXPECT_DOUBLE_EQ(potential_phi(snap, no_b, 3), 0.0);
+}
+
+TEST(Potential, PhiMaxedByAllBs) {
+  std::vector<PlacedItem> snap;
+  for (ItemId i = 0; i < 5; ++i) {
+    snap.push_back(PlacedItem{100 + i, i * 10, 10, 10});
+  }
+  const auto is_b = [](ItemId) { return true; };
+  EXPECT_NEAR(potential_phi(snap, is_b, 5), 5.0, 1e-12);
+}
+
+TEST(Certifier, FolkloreCompactDominatesFloor) {
+  const auto spec = make_lower_bound_spec(kCap, 1.0 / 1024);
+  const CertifiedRun run =
+      run_certified_lower_bound(spec, "folklore-compact");
+  EXPECT_GE(run.measured_amortized_cost, run.floor);
+  EXPECT_TRUE(run.potential_inequality_ok);
+  EXPECT_GT(run.phi_final, 0.0);
+}
+
+TEST(Certifier, FolkloreWindowedDominatesFloor) {
+  const auto spec = make_lower_bound_spec(kCap, 1.0 / 1024);
+  const CertifiedRun run =
+      run_certified_lower_bound(spec, "folklore-windowed");
+  EXPECT_GE(run.measured_amortized_cost, run.floor);
+}
+
+TEST(Certifier, RSumDominatesFloor) {
+  const auto spec = make_lower_bound_spec(kCap, 1.0 / 1024);
+  const CertifiedRun run = run_certified_lower_bound(spec, "rsum");
+  EXPECT_GE(run.measured_amortized_cost, run.floor);
+}
+
+// Parameterized: the floor holds across eps for every runnable allocator.
+struct LbParam {
+  const char* allocator;
+  double eps;
+};
+
+class LbSweep : public ::testing::TestWithParam<LbParam> {};
+
+TEST_P(LbSweep, MeasuredDominatesFloor) {
+  const auto [name, eps] = GetParam();
+  const auto spec = make_lower_bound_spec(kCap, eps);
+  const CertifiedRun run = run_certified_lower_bound(spec, name);
+  EXPECT_GE(run.measured_amortized_cost, run.floor)
+      << name << " eps=" << eps;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LbSweep,
+    ::testing::Values(LbParam{"folklore-compact", 1.0 / 256},
+                      LbParam{"folklore-compact", 1.0 / 4096},
+                      LbParam{"folklore-windowed", 1.0 / 256},
+                      LbParam{"folklore-windowed", 1.0 / 4096},
+                      LbParam{"rsum", 1.0 / 256},
+                      LbParam{"rsum", 1.0 / 4096}));
+
+}  // namespace
+}  // namespace memreal

@@ -1,0 +1,246 @@
+// Unit tests for the validating memory model.
+#include <gtest/gtest.h>
+
+#include "mem/memory.h"
+#include "util/check.h"
+
+namespace memreal {
+namespace {
+
+Memory make(Tick cap = 1000, Tick eps = 100) {
+  ValidationPolicy p;
+  p.every_n_updates = 1;
+  return Memory(cap, eps, p);
+}
+
+TEST(Memory, PlaceAndQuery) {
+  Memory m = make();
+  m.begin_update(50, true);
+  m.place(1, 0, 50);
+  EXPECT_EQ(m.end_update(), 50u);  // placing charges the item's size
+  EXPECT_TRUE(m.contains(1));
+  EXPECT_EQ(m.offset_of(1), 0u);
+  EXPECT_EQ(m.size_of(1), 50u);
+  EXPECT_EQ(m.extent_of(1), 50u);
+  EXPECT_EQ(m.live_mass(), 50u);
+  EXPECT_EQ(m.item_count(), 1u);
+}
+
+TEST(Memory, MoveChargesOnlyOnChange) {
+  Memory m = make();
+  m.begin_update(50, true);
+  m.place(1, 0, 50);
+  m.end_update();
+  m.begin_update(10, true);
+  m.place(2, 50, 10);
+  m.move_to(1, 0);  // no-op: same offset
+  EXPECT_EQ(m.moved_in_update(), 10u);
+  m.move_to(2, 100);
+  EXPECT_EQ(m.moved_in_update(), 20u);
+  m.end_update();
+}
+
+TEST(Memory, RemoveIsFree) {
+  Memory m = make();
+  m.begin_update(50, true);
+  m.place(1, 0, 50);
+  m.end_update();
+  m.begin_update(50, false);
+  m.remove(1);
+  EXPECT_EQ(m.end_update(), 0u);
+  EXPECT_FALSE(m.contains(1));
+  EXPECT_EQ(m.live_mass(), 0u);
+}
+
+TEST(Memory, OverlapDetected) {
+  Memory m = make();
+  m.begin_update(50, true);
+  m.place(1, 0, 50);
+  m.place(2, 25, 50);  // overlaps item 1
+  EXPECT_THROW(m.end_update(), InvariantViolation);
+}
+
+TEST(Memory, TouchingIntervalsAreFine) {
+  Memory m = make();
+  m.begin_update(50, true);
+  m.place(1, 0, 50);
+  m.place(2, 50, 50);
+  EXPECT_NO_THROW(m.end_update());
+}
+
+TEST(Memory, TransientOverlapAllowedWithinUpdate) {
+  Memory m = make();
+  m.begin_update(50, true);
+  m.place(1, 0, 50);
+  m.place(2, 25, 50);  // transient overlap
+  m.move_to(2, 50);    // resolved before end
+  EXPECT_NO_THROW(m.end_update());
+}
+
+TEST(Memory, ResizableBoundEnforced) {
+  Memory m = make(1000, 100);
+  m.begin_update(50, true);
+  m.place(1, 200, 50);  // span 250 > live 50 + eps 100
+  EXPECT_THROW(m.end_update(), InvariantViolation);
+}
+
+TEST(Memory, ResizableBoundCanBeDisabled) {
+  ValidationPolicy p;
+  p.every_n_updates = 1;
+  p.check_resizable_bound = false;
+  Memory m(1000, 100, p);
+  m.begin_update(50, true);
+  m.place(1, 800, 50);
+  EXPECT_NO_THROW(m.end_update());
+}
+
+TEST(Memory, LoadFactorPromiseEnforced) {
+  Memory m = make(1000, 100);
+  m.begin_update(800, true);
+  m.place(1, 0, 800);
+  m.end_update();
+  EXPECT_THROW(m.begin_update(150, true), InvariantViolation);
+}
+
+TEST(Memory, ExtentInflation) {
+  Memory m = make();
+  m.begin_update(50, true);
+  m.place(1, 0, 50);
+  m.set_extent(1, 80);
+  m.end_update();
+  EXPECT_EQ(m.extent_of(1), 80u);
+  EXPECT_EQ(m.size_of(1), 50u);
+  EXPECT_EQ(m.extent_mass(), 80u);
+  EXPECT_EQ(m.live_mass(), 50u);
+  m.begin_update(1, true);
+  m.reset_extent(1);
+  m.place(2, 80, 1);
+  m.end_update();
+  EXPECT_EQ(m.extent_of(1), 50u);
+}
+
+TEST(Memory, ExtentBelowSizeRejected) {
+  Memory m = make();
+  m.begin_update(50, true);
+  m.place(1, 0, 50);
+  EXPECT_THROW(m.set_extent(1, 49), InvariantViolation);
+  m.move_to(1, 0);
+  m.end_update();
+}
+
+TEST(Memory, ExtentOverlapDetected) {
+  Memory m = make(1000, 500);
+  m.begin_update(50, true);
+  m.place(1, 0, 50);
+  m.place(2, 60, 50);
+  m.end_update();
+  m.begin_update(1, true);
+  m.set_extent(1, 70);  // [0, 70) now overlaps [60, 110)
+  m.place(3, 200, 1);
+  EXPECT_THROW(m.end_update(), InvariantViolation);
+}
+
+TEST(Memory, MutationOutsideUpdateRejected) {
+  Memory m = make();
+  EXPECT_THROW(m.place(1, 0, 50), InvariantViolation);
+}
+
+TEST(Memory, NestedUpdateRejected) {
+  Memory m = make();
+  m.begin_update(1, true);
+  EXPECT_THROW(m.begin_update(1, true), InvariantViolation);
+  m.place(1, 0, 1);
+  m.end_update();
+}
+
+TEST(Memory, UnknownItemRejected) {
+  Memory m = make();
+  m.begin_update(1, true);
+  EXPECT_THROW(m.move_to(42, 0), InvariantViolation);
+  EXPECT_THROW(m.remove(42), InvariantViolation);
+  m.place(1, 0, 1);
+  m.end_update();
+  EXPECT_THROW((void)m.offset_of(42), InvariantViolation);
+}
+
+TEST(Memory, DuplicatePlaceRejected) {
+  Memory m = make();
+  m.begin_update(1, true);
+  m.place(1, 0, 1);
+  EXPECT_THROW(m.place(1, 10, 1), InvariantViolation);
+  m.end_update();
+}
+
+TEST(Memory, SnapshotSortedByOffset) {
+  Memory m = make(1000, 900);
+  m.begin_update(10, true);
+  m.place(3, 50, 10);
+  m.place(1, 0, 10);
+  m.place(2, 20, 10);
+  m.end_update();
+  const auto snap = m.snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].id, 1u);
+  EXPECT_EQ(snap[1].id, 2u);
+  EXPECT_EQ(snap[2].id, 3u);
+}
+
+TEST(Memory, GapsReported) {
+  Memory m = make(1000, 900);
+  m.begin_update(10, true);
+  m.place(1, 0, 10);
+  m.place(2, 30, 10);
+  m.place(3, 60, 10);
+  m.end_update();
+  const auto gaps = m.gaps();
+  ASSERT_EQ(gaps.size(), 2u);
+  EXPECT_EQ(gaps[0], (std::pair<Tick, Tick>{10, 20}));
+  EXPECT_EQ(gaps[1], (std::pair<Tick, Tick>{40, 20}));
+}
+
+TEST(Memory, SpanEnd) {
+  Memory m = make(1000, 900);
+  EXPECT_EQ(m.span_end(), 0u);
+  m.begin_update(10, true);
+  m.place(1, 40, 10);
+  m.set_extent(1, 20);
+  m.end_update();
+  EXPECT_EQ(m.span_end(), 60u);
+}
+
+TEST(Memory, TotalsAccumulate) {
+  Memory m = make();
+  m.begin_update(10, true);
+  m.place(1, 0, 10);
+  m.end_update();
+  m.begin_update(10, true);
+  m.place(2, 10, 10);
+  m.move_to(1, 20);
+  m.end_update();
+  EXPECT_EQ(m.total_moved(), 30u);
+  EXPECT_EQ(m.update_count(), 2u);
+}
+
+TEST(Memory, PlacementBeyondCapacityRejected) {
+  Memory m = make(1000, 100);
+  m.begin_update(50, true);
+  EXPECT_THROW(m.place(1, 980, 50), InvariantViolation);
+  m.place(1, 0, 50);
+  m.end_update();
+}
+
+TEST(Memory, ValidationCadenceRespected) {
+  ValidationPolicy p;
+  p.every_n_updates = 2;  // validate on every second update
+  Memory m(1000, 100, p);
+  m.begin_update(50, true);
+  m.place(1, 0, 50);
+  m.place(2, 25, 50);    // overlap, but not validated yet
+  EXPECT_NO_THROW(m.end_update());
+  m.begin_update(1, true);
+  m.place(3, 500, 1);
+  EXPECT_THROW(m.end_update(), InvariantViolation);
+}
+
+}  // namespace
+}  // namespace memreal

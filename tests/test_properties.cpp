@@ -1,0 +1,244 @@
+// Cross-cutting randomized property suite.
+//
+// Three families, all parameterized over (allocator × regime × seed):
+//
+//  1. Online fuzz: an op stream with bursts of inserts/deletes, load
+//     swings and occasional drains, generated online, with full memory
+//     validation and allocator invariants after every update.
+//  2. Determinism: the same (workload seed, allocator seed) must produce
+//     bit-identical layouts — no hidden global state, no iteration-order
+//     dependence on unordered containers leaking into decisions.
+//  3. Accounting: the engine's per-update moved-mass sum equals the memory
+//     model's lifetime total.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "testing.h"
+#include "workload/churn.h"
+#include "workload/random_item.h"
+
+namespace memreal {
+namespace {
+
+constexpr Tick kCap = Tick{1} << 50;
+
+struct FuzzParam {
+  const char* allocator;
+  double eps;
+  double delta;  // rsum only; also selects the size regime
+  std::uint64_t seed;
+};
+
+/// Online fuzz stream: the generator reacts to the live set (burst sizes,
+/// swings), always respecting the promise and each allocator's size regime.
+class FuzzStream {
+ public:
+  FuzzStream(const FuzzParam& p, Tick cap) : p_(p), rng_(p.seed * 31 + 7) {
+    const auto cap_d = static_cast<double>(cap);
+    budget_ = cap - static_cast<Tick>(p.eps * cap_d);
+    const std::string name = p.allocator;
+    if (name == "rsum") {
+      lo_ = static_cast<Tick>(p.delta * cap_d);
+      hi_ = 2 * lo_;
+    } else if (name == "simple" || name == "discrete") {
+      lo_ = static_cast<Tick>(p.eps * cap_d);
+      hi_ = 2 * lo_ - 1;
+    } else if (name == "geo" || name == "combined") {
+      hi_ = static_cast<Tick>(std::sqrt(p.eps) / 250.0 * cap_d);
+      lo_ = std::max<Tick>(1, hi_ / 64);
+    } else {  // folklore variants: anything
+      lo_ = static_cast<Tick>(p.eps * cap_d / 8);
+      hi_ = static_cast<Tick>(p.eps * cap_d * 4);
+    }
+    if (std::string(p.allocator) == "discrete") {
+      // Fixed palette of 6 sizes.
+      for (int i = 0; i < 6; ++i) palette_.push_back(rng_.next_in(lo_, hi_));
+    }
+  }
+
+  /// Produces the next update (or nullopt to skip a beat).
+  std::optional<Update> next() {
+    if (burst_ == 0) {
+      burst_ = 1 + rng_.next_below(24);
+      // Bias phases: mostly balanced, sometimes grow or shrink hard.
+      const auto mode = rng_.next_below(10);
+      grow_bias_ = mode < 5 ? 50 : (mode < 8 ? 80 : 10);
+    }
+    --burst_;
+    const bool grow = live_.empty() || rng_.next_below(100) < grow_bias_;
+    if (grow) {
+      Tick s = palette_.empty()
+                   ? rng_.next_in(lo_, hi_)
+                   : palette_[rng_.next_below(palette_.size())];
+      if (mass_ + s > budget_) {
+        if (live_.empty()) return std::nullopt;
+        return make_delete();
+      }
+      const ItemId id = next_id_++;
+      live_.push_back({id, s});
+      mass_ += s;
+      return Update::insert(id, s);
+    }
+    return make_delete();
+  }
+
+ private:
+  Update make_delete() {
+    const auto k = static_cast<std::size_t>(rng_.next_below(live_.size()));
+    const auto [id, s] = live_[k];
+    live_[k] = live_.back();
+    live_.pop_back();
+    mass_ -= s;
+    return Update::erase(id, s);
+  }
+
+  FuzzParam p_;
+  Rng rng_;
+  Tick budget_ = 0, mass_ = 0;
+  Tick lo_ = 1, hi_ = 2;
+  std::vector<std::pair<ItemId, Tick>> live_;
+  std::vector<Tick> palette_;
+  ItemId next_id_ = 1;
+  std::size_t burst_ = 0;
+  unsigned grow_bias_ = 50;
+};
+
+class FuzzSweep : public ::testing::TestWithParam<FuzzParam> {};
+
+TEST_P(FuzzSweep, OnlineFuzzWithFullValidation) {
+  const FuzzParam p = GetParam();
+  ValidationPolicy policy;
+  policy.every_n_updates = 1;
+  const auto eps_t = static_cast<Tick>(p.eps * static_cast<double>(kCap));
+  Memory mem(kCap, eps_t, policy);
+  AllocatorParams ap;
+  ap.eps = p.eps;
+  ap.delta = p.delta;
+  ap.seed = p.seed;
+  auto alloc = make_allocator(p.allocator, mem, ap);
+  EngineOptions opts;
+  opts.check_invariants_every = 4;
+  Engine engine(mem, *alloc, opts);
+
+  FuzzStream stream(p, kCap);
+  std::size_t steps = 0;
+  for (int i = 0; i < 1200; ++i) {
+    const auto u = stream.next();
+    if (!u) continue;
+    engine.step(*u);
+    ++steps;
+  }
+  EXPECT_GT(steps, 600u);
+  alloc->check_invariants();
+  mem.validate();
+}
+
+TEST_P(FuzzSweep, DeterministicLayouts) {
+  const FuzzParam p = GetParam();
+  auto run = [&]() {
+    ValidationPolicy policy;
+    policy.every_n_updates = 0;
+    const auto eps_t = static_cast<Tick>(p.eps * static_cast<double>(kCap));
+    Memory mem(kCap, eps_t, policy);
+    AllocatorParams ap;
+    ap.eps = p.eps;
+    ap.delta = p.delta;
+    ap.seed = p.seed;
+    auto alloc = make_allocator(p.allocator, mem, ap);
+    Engine engine(mem, *alloc);
+    FuzzStream stream(p, kCap);
+    for (int i = 0; i < 400; ++i) {
+      const auto u = stream.next();
+      if (u) engine.step(*u);
+    }
+    return mem.snapshot();
+  };
+  const auto a = run();
+  const auto b = run();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, b[i].id);
+    EXPECT_EQ(a[i].offset, b[i].offset);
+    EXPECT_EQ(a[i].extent, b[i].extent);
+  }
+}
+
+TEST_P(FuzzSweep, MovedMassAccountingConsistent) {
+  const FuzzParam p = GetParam();
+  ValidationPolicy policy;
+  policy.every_n_updates = 0;
+  const auto eps_t = static_cast<Tick>(p.eps * static_cast<double>(kCap));
+  Memory mem(kCap, eps_t, policy);
+  AllocatorParams ap;
+  ap.eps = p.eps;
+  ap.delta = p.delta;
+  ap.seed = p.seed;
+  auto alloc = make_allocator(p.allocator, mem, ap);
+  Engine engine(mem, *alloc);
+  FuzzStream stream(p, kCap);
+  Tick sum = 0;
+  for (int i = 0; i < 400; ++i) {
+    const auto u = stream.next();
+    if (!u) continue;
+    mem.begin_update(u->size, u->is_insert());
+    if (u->is_insert()) {
+      alloc->insert(u->id, u->size);
+    } else {
+      alloc->erase(u->id);
+    }
+    sum += mem.end_update();
+  }
+  EXPECT_EQ(sum, mem.total_moved());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, FuzzSweep,
+    ::testing::Values(
+        FuzzParam{"folklore-compact", 1.0 / 32, 0, 1},
+        FuzzParam{"folklore-compact", 1.0 / 128, 0, 2},
+        FuzzParam{"folklore-windowed", 1.0 / 32, 0, 3},
+        FuzzParam{"simple", 1.0 / 32, 0, 4},
+        FuzzParam{"simple", 1.0 / 128, 0, 5},
+        FuzzParam{"geo", 1.0 / 16, 0, 6},
+        FuzzParam{"geo", 1.0 / 64, 0, 7},
+        FuzzParam{"combined", 1.0 / 16, 0, 8},
+        FuzzParam{"combined", 1.0 / 64, 0, 9},
+        FuzzParam{"discrete", 1.0 / 32, 0, 10},
+        FuzzParam{"rsum", 1.0 / 256, 1.0 / 2048, 11},
+        FuzzParam{"rsum", 1.0 / 256, 1.0 / 128, 12}));
+
+// Registry sanity.
+TEST(Registry, KnowsAllAllocators) {
+  const auto names = allocator_names();
+  EXPECT_EQ(names.size(), 9u);
+  Memory mem = testing::strict_memory(kCap, 1.0 / 16);
+  for (const auto& name : names) {
+    AllocatorParams p;
+    p.eps = 1.0 / 16;
+    p.delta = 1.0 / 64;
+    auto a = make_allocator(name, mem, p);
+    EXPECT_FALSE(a->name().empty());
+  }
+}
+
+TEST(Registry, RejectsUnknownName) {
+  Memory mem = testing::strict_memory(kCap, 1.0 / 16);
+  AllocatorParams p;
+  EXPECT_THROW(make_allocator("no-such-allocator", mem, p),
+               InvariantViolation);
+}
+
+TEST(Registry, NamesMatchAllocatorName) {
+  Memory mem = testing::strict_memory(kCap, 1.0 / 16);
+  for (const auto& name : allocator_names()) {
+    AllocatorParams p;
+    p.eps = 1.0 / 16;
+    p.delta = 1.0 / 64;
+    auto a = make_allocator(name, mem, p);
+    EXPECT_EQ(std::string(a->name()), name);
+  }
+}
+
+}  // namespace
+}  // namespace memreal

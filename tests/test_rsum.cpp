@@ -1,0 +1,294 @@
+// RSUM (Theorem 6.1): blocks, valid-block search, subset-sum swaps, trash
+// can and buffer, rebuilds, both delta regimes, decision-time tracking.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "alloc/rsum.h"
+#include "testing.h"
+#include "workload/random_item.h"
+
+namespace memreal {
+namespace {
+
+constexpr Tick kCap = Tick{1} << 50;
+
+Sequence delta_seq(double eps, double delta, std::size_t pairs,
+                   std::uint64_t seed) {
+  RandomItemConfig c;
+  c.capacity = kCap;
+  c.eps = eps;
+  c.delta = delta;
+  c.churn_pairs = pairs;
+  c.seed = seed;
+  return make_random_item_sequence(c);
+}
+
+TEST(RSum, BlockSizeMatchesPaper) {
+  Memory mem = testing::strict_memory(kCap, 1.0 / 256);
+  RSumConfig c;
+  c.eps = 1.0 / 256;
+  c.delta = 1.0 / 64;
+  RSumAllocator r(mem, c);
+  // m = 2 * ceil(log2(256)/2) = 8.
+  EXPECT_EQ(r.block_size(), 8u);
+  // delta = 1/64 > eps/4 = 1/1024: the Lemma 6.8 regime.
+  EXPECT_TRUE(r.big_delta_mode());
+}
+
+TEST(RSum, BigDeltaModeDetection) {
+  Memory mem = testing::strict_memory(kCap, 1.0 / 16);
+  RSumConfig c;
+  c.eps = 1.0 / 16;
+  c.delta = 1.0 / 32;  // delta > eps/4 = 1/64
+  RSumAllocator big(mem, c);
+  EXPECT_TRUE(big.big_delta_mode());
+
+  Memory mem2 = testing::strict_memory(kCap, 1.0 / 16);
+  c.delta = 1.0 / 128;  // delta < eps/4
+  RSumAllocator small(mem2, c);
+  EXPECT_FALSE(small.big_delta_mode());
+}
+
+TEST(RSum, GapBoundMatchesPaper) {
+  Memory mem = testing::strict_memory(kCap, 1.0 / 256);
+  RSumConfig c;
+  c.eps = 1.0 / 256;
+  c.delta = 1.0 / 64;
+  RSumAllocator r(mem, c);
+  const double expect = (1.0 / 256) * (1.0 / 64) * 8.0 *
+                        static_cast<double>(kCap);
+  EXPECT_NEAR(static_cast<double>(r.gap_bound()), expect, 2.0);
+}
+
+TEST(RSum, FillThenFirstDeleteTriggersRebuild) {
+  const double eps = 1.0 / 256;
+  const double delta = 1.0 / 64;
+  Memory mem = testing::strict_memory(kCap, eps);
+  RSumConfig c;
+  c.eps = eps;
+  c.delta = delta;
+  RSumAllocator r(mem, c);
+  Engine engine(mem, r);
+  const auto lo = static_cast<Tick>(delta * static_cast<double>(kCap));
+  Rng rng(3);
+  const std::size_t n = random_item_count(delta);
+  for (ItemId i = 1; i <= n; ++i) {
+    engine.step(Update::insert(i, rng.next_in(lo, 2 * lo)));
+  }
+  EXPECT_EQ(r.rebuilds(), 0u);  // inserts never rebuild
+  engine.step(Update::erase(1, mem.size_of(1)));
+  EXPECT_EQ(r.rebuilds(), 1u);  // no valid blocks existed before
+  EXPECT_GT(r.valid_blocks(), 0u);
+  r.check_invariants();
+}
+
+TEST(RSum, InsertCostIsOne) {
+  const double eps = 1.0 / 256;
+  Memory mem = testing::strict_memory(kCap, eps);
+  RSumConfig c;
+  c.eps = eps;
+  c.delta = 1.0 / 64;
+  RSumAllocator r(mem, c);
+  Engine engine(mem, r);
+  const auto lo = static_cast<Tick>(c.delta * static_cast<double>(kCap));
+  EXPECT_DOUBLE_EQ(engine.step(Update::insert(1, lo)), 1.0);
+  EXPECT_DOUBLE_EQ(engine.step(Update::insert(2, lo + 5)), 1.0);
+}
+
+TEST(RSum, RejectsOutOfRangeSizes) {
+  Memory mem = testing::strict_memory(kCap, 1.0 / 256);
+  RSumConfig c;
+  c.eps = 1.0 / 256;
+  c.delta = 1.0 / 64;
+  RSumAllocator r(mem, c);
+  Engine engine(mem, r);
+  const auto lo = static_cast<Tick>(c.delta * static_cast<double>(kCap));
+  EXPECT_THROW(engine.step(Update::insert(1, lo / 2)), InvariantViolation);
+  EXPECT_THROW(engine.step(Update::insert(2, 3 * lo)), InvariantViolation);
+}
+
+TEST(RSum, SmallDeltaChurnFullInvariants) {
+  const double eps = 1.0 / 256;
+  const double delta = 1.0 / 2048;  // delta < eps/4 = 1/1024
+  const Sequence seq = delta_seq(eps, delta, 600, 7);
+  const RunStats s =
+      testing::run_with_invariants("rsum", seq, 7, delta, 1);
+  EXPECT_GT(s.updates, 1000u);
+}
+
+TEST(RSum, BigDeltaChurnFullInvariants) {
+  const double eps = 1.0 / 256;
+  const double delta = 1.0 / 128;  // delta > eps/4
+  const Sequence seq = delta_seq(eps, delta, 400, 9);
+  const RunStats s = testing::run_with_invariants("rsum", seq, 9, delta, 1);
+  EXPECT_GT(s.updates, 700u);
+}
+
+TEST(RSum, DecisionTimeTracked) {
+  const double eps = 1.0 / 256;
+  const double delta = 1.0 / 512;
+  const Sequence seq = delta_seq(eps, delta, 300, 11);
+  ValidationPolicy policy;
+  policy.every_n_updates = 16;
+  Memory mem(seq.capacity, seq.eps_ticks, policy);
+  RSumConfig c;
+  c.eps = eps;
+  c.delta = delta;
+  RSumAllocator r(mem, c);
+  Engine engine(mem, r);
+  engine.run(seq.updates);
+  EXPECT_GT(r.compat_checks(), 0u);
+  EXPECT_GT(r.decision_seconds(), 0.0);
+}
+
+TEST(RSum, CompatChecksAreMostlySuccessful) {
+  // The purity-of-valid-blocks property: each check succeeds with
+  // probability Omega(1), so failures per delete stay O(1) — empirically
+  // the failure/check ratio stays well below 1.
+  const double eps = 1.0 / 1024;
+  const double delta = 1.0 / 4096;
+  const Sequence seq = delta_seq(eps, delta, 1500, 13);
+  ValidationPolicy policy;
+  policy.every_n_updates = 64;
+  Memory mem(seq.capacity, seq.eps_ticks, policy);
+  RSumConfig c;
+  c.eps = eps;
+  c.delta = delta;
+  RSumAllocator r(mem, c);
+  Engine engine(mem, r);
+  engine.run(seq.updates);
+  ASSERT_GT(r.compat_checks(), 100u);
+  const double fail_rate = static_cast<double>(r.compat_failures()) /
+                           static_cast<double>(r.compat_checks());
+  EXPECT_LT(fail_rate, 0.9);
+}
+
+TEST(RSum, RebuildsAreInfrequent) {
+  // Expected phase length is Omega(delta^-1 / m): rebuilds per update must
+  // be far below 1.
+  const double eps = 1.0 / 1024;
+  const double delta = 1.0 / 4096;
+  const Sequence seq = delta_seq(eps, delta, 1500, 17);
+  ValidationPolicy policy;
+  policy.every_n_updates = 64;
+  Memory mem(seq.capacity, seq.eps_ticks, policy);
+  RSumConfig c;
+  c.eps = eps;
+  c.delta = delta;
+  RSumAllocator r(mem, c);
+  Engine engine(mem, r);
+  engine.run(seq.updates);
+  EXPECT_LT(r.rebuilds(), seq.updates.size() / 20);
+}
+
+TEST(RSum, StubBlockDeletesHandled) {
+  // n not divisible by m leaves an invalid stub block at the left; deletes
+  // inside it must spill into the neighbour or fall back to a rebuild, but
+  // never corrupt the layout.
+  const double eps = 1.0 / 256;
+  const double delta = 1.0 / 64;  // n = 16, m = 8: force a stub via churn
+  Memory mem = testing::strict_memory(kCap, eps);
+  RSumConfig c;
+  c.eps = eps;
+  c.delta = delta;
+  c.block_items = 6;  // 16 items -> stub of 4
+  RSumAllocator r(mem, c);
+  EngineOptions opts;
+  opts.check_invariants_every = 1;
+  Engine engine(mem, r, opts);
+  Rng rng(5);
+  const auto lo = static_cast<Tick>(delta * static_cast<double>(kCap));
+  std::vector<std::pair<ItemId, Tick>> live;
+  for (ItemId i = 1; i <= 16; ++i) {
+    const Tick s = rng.next_in(lo, 2 * lo);
+    live.emplace_back(i, s);
+    engine.step(Update::insert(i, s));
+  }
+  ItemId next = 100;
+  for (int round = 0; round < 200; ++round) {
+    const auto k = static_cast<std::size_t>(rng.next_below(live.size()));
+    engine.step(Update::erase(live[k].first, live[k].second));
+    live[k] = live.back();
+    live.pop_back();
+    const Tick s = rng.next_in(lo, 2 * lo);
+    engine.step(Update::insert(next, s));
+    live.emplace_back(next, s);
+    ++next;
+  }
+  r.check_invariants();
+  mem.validate();
+}
+
+TEST(RSum, PingPongAtTrashBoundary) {
+  const double eps = 1.0 / 1024;
+  const double delta = 1.0 / 512;
+  Memory mem = testing::strict_memory(kCap, eps);
+  RSumConfig c;
+  c.eps = eps;
+  c.delta = delta;
+  RSumAllocator r(mem, c);
+  EngineOptions opts;
+  opts.check_invariants_every = 1;
+  Engine engine(mem, r, opts);
+  Rng rng(9);
+  const auto lo = static_cast<Tick>(delta * static_cast<double>(kCap));
+  for (ItemId i = 1; i <= 128; ++i) {
+    engine.step(Update::insert(i, rng.next_in(lo, 2 * lo)));
+  }
+  // Repeatedly insert then immediately delete the freshest item — it sits
+  // at the very end of the trash every time.
+  ItemId next = 1000;
+  for (int round = 0; round < 150; ++round) {
+    const Tick s = rng.next_in(lo, 2 * lo);
+    engine.step(Update::insert(next, s));
+    engine.step(Update::erase(next, s));
+    ++next;
+  }
+  r.check_invariants();
+  mem.validate();
+  EXPECT_EQ(mem.item_count(), 128u);
+}
+
+TEST(RSum, BlockSizeAblationOverride) {
+  Memory mem = testing::strict_memory(kCap, 1.0 / 256);
+  RSumConfig c;
+  c.eps = 1.0 / 256;
+  c.delta = 1.0 / 64;
+  c.block_items = 12;
+  RSumAllocator r(mem, c);
+  EXPECT_EQ(r.block_size(), 12u);
+}
+
+// Parameterized sweep across (eps, delta, seed) in both regimes.
+struct RSumParam {
+  double eps;
+  double delta;
+  std::uint64_t seed;
+};
+
+class RSumSweep : public ::testing::TestWithParam<RSumParam> {};
+
+TEST_P(RSumSweep, InvariantsHold) {
+  const auto [eps, delta, seed] = GetParam();
+  const Sequence seq = delta_seq(eps, delta, 400, seed);
+  const RunStats s =
+      testing::run_with_invariants("rsum", seq, seed, delta, 2);
+  EXPECT_GT(s.updates, 0u);
+  // Cost sanity: far below folklore for these parameters.
+  EXPECT_LT(s.mean_cost(), 0.5 / eps);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RSumSweep,
+    ::testing::Values(RSumParam{1.0 / 64, 1.0 / 512, 1},
+                      RSumParam{1.0 / 64, 1.0 / 512, 2},
+                      RSumParam{1.0 / 256, 1.0 / 2048, 1},
+                      RSumParam{1.0 / 256, 1.0 / 128, 2},   // big delta
+                      RSumParam{1.0 / 256, 1.0 / 64, 3},    // big delta
+                      RSumParam{1.0 / 1024, 1.0 / 8192, 1},
+                      RSumParam{1.0 / 1024, 1.0 / 256, 2}   // big delta
+                      ));
+
+}  // namespace
+}  // namespace memreal

@@ -1,0 +1,215 @@
+// SIMPLE (Theorem 3.1): size classes, covering set, swap/inflation, waste
+// bound, rebuild cadence, amortized O(eps^-2/3) cost shape.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "alloc/simple.h"
+#include "testing.h"
+#include "workload/churn.h"
+
+namespace memreal {
+namespace {
+
+constexpr Tick kCap = Tick{1} << 40;
+
+Sequence regime(double eps, std::size_t updates, std::uint64_t seed) {
+  return make_simple_regime(kCap, eps, updates, seed);
+}
+
+TEST(Simple, ConfigMatchesPaper) {
+  Memory mem = testing::strict_memory(kCap, 1.0 / 64);
+  SimpleAllocator alloc(mem, 1.0 / 64);
+  // ceil(eps^{-1/3}) classes, floor(eps^{-1/3}) rebuild period.
+  EXPECT_EQ(alloc.size_class_count(), 4u);  // 64^{1/3} = 4
+  EXPECT_EQ(alloc.rebuild_period(), 4u);
+}
+
+TEST(Simple, SizeClassPartition) {
+  Memory mem = testing::strict_memory(kCap, 1.0 / 64);
+  SimpleAllocator alloc(mem, 1.0 / 64);
+  const auto eps_t = mem.eps_ticks();
+  EXPECT_EQ(alloc.size_class_of(eps_t), 0u);
+  EXPECT_EQ(alloc.size_class_of(2 * eps_t - 1), alloc.size_class_count() - 1);
+  // Classes are monotone in size.
+  std::size_t prev = 0;
+  for (Tick s = eps_t; s < 2 * eps_t; s += eps_t / 97) {
+    const std::size_t c = alloc.size_class_of(s);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+  EXPECT_THROW((void)alloc.size_class_of(eps_t - 1), InvariantViolation);
+  EXPECT_THROW((void)alloc.size_class_of(2 * eps_t), InvariantViolation);
+}
+
+TEST(Simple, RebuildEveryPeriodUpdates) {
+  Memory mem = testing::strict_memory(kCap, 1.0 / 64);
+  SimpleAllocator alloc(mem, 1.0 / 64);
+  Engine engine(mem, alloc);
+  const Tick size = mem.eps_ticks();
+  // Period is 4: updates 1, 5, 9 trigger rebuilds.
+  for (ItemId i = 1; i <= 9; ++i) engine.step(Update::insert(i, size));
+  EXPECT_EQ(alloc.rebuilds(), 3u);
+}
+
+TEST(Simple, InsertGoesToCoveringSet) {
+  Memory mem = testing::strict_memory(kCap, 1.0 / 64);
+  SimpleAllocator alloc(mem, 1.0 / 64);
+  Engine engine(mem, alloc);
+  engine.step(Update::insert(1, mem.eps_ticks() + 5));
+  EXPECT_TRUE(alloc.in_covering(1));
+}
+
+TEST(Simple, DeleteOutsideCoveringSwapsAndInflates) {
+  const double eps = 1.0 / 64;
+  Memory mem = testing::strict_memory(kCap, eps);
+  SimpleAllocator alloc(mem, eps);
+  Engine engine(mem, alloc);
+  const Tick eps_t = mem.eps_ticks();
+  // Period 4.  Insert 8 items of the same class with distinct sizes; after
+  // the rebuild at update 9 the covering set holds the 4 smallest; the
+  // others sit in the main portion.
+  for (ItemId i = 1; i <= 8; ++i) {
+    engine.step(Update::insert(i, eps_t + 10 * i));
+  }
+  engine.step(Update::insert(9, eps_t + 1));  // triggers rebuild (update 9)
+  // Items 6, 7, 8 are now outside the covering set (largest).
+  ASSERT_FALSE(alloc.in_covering(7));
+  const Tick slot7 = mem.offset_of(7);
+  const Tick ext7 = mem.extent_of(7);
+  engine.step(Update::erase(7, eps_t + 70));
+  // Some smaller covering item took 7's slot with 7's extent.
+  const auto snap = mem.snapshot();
+  bool found = false;
+  for (const auto& it : snap) {
+    if (it.offset == slot7) {
+      EXPECT_EQ(it.extent, ext7);
+      EXPECT_LE(it.size, eps_t + 70);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Simple, WasteNeverExceedsEps) {
+  const double eps = 1.0 / 32;
+  const Sequence seq = regime(eps, 600, 7);
+  // run_with_invariants checks waste <= eps after every update via
+  // check_invariants.
+  const RunStats s = testing::run_with_invariants("simple", seq);
+  EXPECT_GT(s.updates, 0u);
+}
+
+TEST(Simple, LayoutContiguousInExtents) {
+  const double eps = 1.0 / 32;
+  const Sequence seq = regime(eps, 300, 3);
+  ValidationPolicy policy;
+  policy.every_n_updates = 1;
+  Memory mem(seq.capacity, seq.eps_ticks, policy);
+  SimpleAllocator alloc(mem, eps);
+  Engine engine(mem, alloc);
+  engine.run(seq.updates);
+  const auto snap = mem.snapshot();
+  Tick off = 0;
+  for (const auto& it : snap) {
+    EXPECT_EQ(it.offset, off);
+    off += it.extent;
+  }
+}
+
+TEST(Simple, ResizableBoundHolds) {
+  const double eps = 1.0 / 32;
+  const Sequence seq = regime(eps, 400, 5);
+  ValidationPolicy policy;
+  policy.every_n_updates = 1;
+  Memory mem(seq.capacity, seq.eps_ticks, policy);
+  SimpleAllocator alloc(mem, eps);
+  Engine engine(mem, alloc);
+  engine.run(seq.updates);
+  EXPECT_LE(mem.span_end(), mem.live_mass() + mem.eps_ticks());
+}
+
+TEST(Simple, RejectsOutOfRegimeSizes) {
+  Memory mem = testing::strict_memory(kCap, 1.0 / 64);
+  SimpleAllocator alloc(mem, 1.0 / 64);
+  Engine engine(mem, alloc);
+  EXPECT_THROW(engine.step(Update::insert(1, mem.eps_ticks() / 2)),
+               InvariantViolation);
+}
+
+TEST(Simple, CoveringSetSizeBounded) {
+  const double eps = 1.0 / 64;
+  const Sequence seq = regime(eps, 500, 11);
+  ValidationPolicy policy;
+  policy.every_n_updates = 1;
+  Memory mem(seq.capacity, seq.eps_ticks, policy);
+  SimpleAllocator alloc(mem, eps);
+  Engine engine(mem, alloc);
+  std::size_t max_covering = 0;
+  EngineOptions opts;
+  Engine e2(mem, alloc, opts);
+  for (const Update& u : seq.updates) {
+    e2.step(u);
+    max_covering = std::max(max_covering, alloc.covering_size());
+  }
+  // Lemma 3.3: per class at most 2 * floor(eps^{-1/3}) covering items.
+  EXPECT_LE(max_covering,
+            2 * alloc.rebuild_period() * alloc.size_class_count() +
+                alloc.rebuild_period());
+}
+
+// Parameterized sweep: invariants hold across eps x seed.
+struct SimpleParam {
+  double eps;
+  std::uint64_t seed;
+};
+
+class SimpleSweep : public ::testing::TestWithParam<SimpleParam> {};
+
+TEST_P(SimpleSweep, InvariantsAndCostShape) {
+  const auto [eps, seed] = GetParam();
+  const Sequence seq = regime(eps, 500, seed);
+  const RunStats s = testing::run_with_invariants("simple", seq);
+  // Theorem 3.1 with slack: amortized cost O(eps^-2/3).  Constant 12 is
+  // generous but still far below the folklore eps^-1 at small eps.
+  EXPECT_LE(s.mean_cost(), 12.0 * std::pow(1.0 / eps, 2.0 / 3.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SimpleSweep,
+    ::testing::Values(SimpleParam{1.0 / 16, 1}, SimpleParam{1.0 / 16, 2},
+                      SimpleParam{1.0 / 32, 1}, SimpleParam{1.0 / 32, 2},
+                      SimpleParam{1.0 / 64, 1}, SimpleParam{1.0 / 64, 2},
+                      SimpleParam{1.0 / 128, 1}, SimpleParam{1.0 / 128, 2},
+                      SimpleParam{1.0 / 256, 1}, SimpleParam{1.0 / 512, 1}));
+
+// Section 3's remark: with all sizes within a factor of two, the two
+// amortized-cost conventions (mean of per-update costs vs ratio of totals)
+// agree up to constants.
+TEST(Simple, AmortizationConventionsAgreeOnBand) {
+  const double eps = 1.0 / 128;
+  const Sequence seq = regime(eps, 2000, 13);
+  ValidationPolicy policy;
+  policy.every_n_updates = 128;
+  Memory mem(seq.capacity, seq.eps_ticks, policy);
+  SimpleAllocator alloc(mem, eps);
+  Engine engine(mem, alloc);
+  const RunStats s = engine.run(seq.updates);
+  ASSERT_GT(s.ratio_cost(), 0.0);
+  const double r = s.mean_cost() / s.ratio_cost();
+  EXPECT_GT(r, 0.5);
+  EXPECT_LT(r, 2.0);
+}
+
+TEST(Simple, AblationPeriodOverride) {
+  Memory mem = testing::strict_memory(kCap, 1.0 / 64);
+  SimpleAllocator alloc(mem, 1.0 / 64);
+  alloc.set_rebuild_period(2);
+  Engine engine(mem, alloc);
+  const Tick size = mem.eps_ticks();
+  for (ItemId i = 1; i <= 5; ++i) engine.step(Update::insert(i, size));
+  EXPECT_EQ(alloc.rebuilds(), 3u);  // updates 1, 3, 5
+}
+
+}  // namespace
+}  // namespace memreal

@@ -1,0 +1,367 @@
+// Unit tests for the util substrate: rng, stats, fit, thresholds
+// (Lemmas 4.3 / 4.4), parallel, table.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "util/check.h"
+#include "util/fit.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/thresholds.h"
+
+namespace memreal {
+namespace {
+
+// -- rng ---------------------------------------------------------------
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng r(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(r.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextInIsInclusive) {
+  Rng r(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(r.next_in(3, 5));
+  EXPECT_EQ(seen, (std::set<std::uint64_t>{3, 4, 5}));
+}
+
+TEST(Rng, NextBelowIsRoughlyUniform) {
+  Rng r(99);
+  std::vector<int> counts(8, 0);
+  const int n = 80'000;
+  for (int i = 0; i < n; ++i) ++counts[r.next_below(8)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, n / 8, n / 8 * 0.1);
+  }
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng r(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = r.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, ShufflePreservesMultiset) {
+  Rng r(5);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto w = v;
+  r.shuffle(w);
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(Rng, ShuffleActuallyPermutes) {
+  Rng r(5);
+  std::vector<int> v(50);
+  for (int i = 0; i < 50; ++i) v[i] = i;
+  auto w = v;
+  r.shuffle(w);
+  EXPECT_NE(v, w);
+}
+
+TEST(Rng, NextTickInHalfOpen) {
+  Rng r(11);
+  for (int i = 0; i < 1000; ++i) {
+    const Tick t = r.next_tick_in(10, 20);
+    EXPECT_GE(t, 10u);
+    EXPECT_LT(t, 20u);
+  }
+}
+
+// -- stats -------------------------------------------------------------
+
+TEST(StreamingStats, Moments) {
+  StreamingStats s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+  EXPECT_NEAR(s.variance(), 1.25, 1e-12);
+}
+
+TEST(StreamingStats, MergeMatchesSequential) {
+  StreamingStats a, b, all;
+  Rng r(1);
+  for (int i = 0; i < 100; ++i) {
+    const double x = r.next_double();
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(StreamingStats, MergeEmpty) {
+  StreamingStats a, b;
+  a.add(1.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.0);
+}
+
+TEST(Quantiles, MedianAndExtremes) {
+  Quantiles q;
+  for (int i = 1; i <= 101; ++i) q.add(i);
+  EXPECT_DOUBLE_EQ(q.quantile(0.5), 51.0);
+  EXPECT_DOUBLE_EQ(q.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(q.quantile(1.0), 101.0);
+}
+
+TEST(Quantiles, EmptyReturnsZero) {
+  Quantiles q;
+  EXPECT_DOUBLE_EQ(q.quantile(0.5), 0.0);
+}
+
+TEST(Histogram, BucketsAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(-5.0);   // clamps to bucket 0
+  h.add(0.5);
+  h.add(9.5);
+  h.add(25.0);   // clamps to last bucket
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(9), 2u);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(5), 5.0);
+}
+
+// -- fit ---------------------------------------------------------------
+
+TEST(Fit, LinearExact) {
+  std::vector<double> x{1, 2, 3, 4}, y{3, 5, 7, 9};  // y = 1 + 2x
+  const LinearFit f = fit_linear(x, y);
+  EXPECT_NEAR(f.slope, 2.0, 1e-12);
+  EXPECT_NEAR(f.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(f.r2, 1.0, 1e-12);
+}
+
+TEST(Fit, PowerLawRecoversExponent) {
+  std::vector<double> x, y;
+  for (double v : {4.0, 16.0, 64.0, 256.0}) {
+    x.push_back(v);
+    y.push_back(3.0 * std::pow(v, 0.5));
+  }
+  const PowerLawFit f = fit_power_law(x, y);
+  EXPECT_NEAR(f.exponent, 0.5, 1e-9);
+  EXPECT_NEAR(std::exp(f.log_coeff), 3.0, 1e-9);
+}
+
+TEST(Fit, PowerLawRejectsNonPositive) {
+  std::vector<double> x{1.0, 2.0}, y{0.0, 1.0};
+  EXPECT_THROW((void)fit_power_law(x, y), InvariantViolation);
+}
+
+TEST(Fit, RejectsMismatchedSizes) {
+  std::vector<double> x{1.0, 2.0}, y{1.0};
+  EXPECT_THROW((void)fit_linear(x, y), InvariantViolation);
+}
+
+// -- thresholds (Lemmas 4.3 / 4.4) --------------------------------------
+
+TEST(ContinuousThreshold, ThresholdInWindow) {
+  Rng r(1);
+  ContinuousThreshold t(1000, r);
+  EXPECT_GE(t.threshold(), 500u);
+  EXPECT_LT(t.threshold(), 1000u);
+}
+
+TEST(ContinuousThreshold, OverflowCarries) {
+  Rng r(1);
+  ContinuousThreshold t(1000, r);
+  const Tick thr = t.threshold();
+  // One huge addition crosses: the overflow must carry.
+  ASSERT_TRUE(t.add(thr + 137));
+  EXPECT_EQ(t.accumulated(), 137u);
+}
+
+TEST(ContinuousThreshold, CrossesEventually) {
+  Rng r(2);
+  ContinuousThreshold t(1000, r);
+  int crossings = 0;
+  Tick total = 0;
+  while (total < 100'000) {
+    total += 100;
+    crossings += t.add(100);
+  }
+  // Expected threshold ~750 per crossing: about 133 crossings.
+  EXPECT_NEAR(crossings, 133, 35);
+}
+
+TEST(ContinuousThreshold, Lemma43CrossingProbability) {
+  // Lemma 4.3: Pr[exists j with partial sum in [a, b]] <= 4 (b - a) / W.
+  // Empirical check with W = 1000, [a, b] = [10000, 10050]: bound 0.2.
+  const Tick W = 1000;
+  const Tick a = 10'000, b = 10'050;
+  int hits = 0;
+  const int trials = 4000;
+  for (int tr = 0; tr < trials; ++tr) {
+    Rng r(1000 + tr);
+    Tick sum = 0;
+    while (sum < b) {
+      sum += r.next_tick_in(W / 2, W);
+      if (sum >= a && sum <= b) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  const double p = static_cast<double>(hits) / trials;
+  EXPECT_LE(p, 4.0 * static_cast<double>(b - a) / W + 0.03);
+}
+
+TEST(CountThreshold, RangeMatchesLemma44) {
+  Rng r(3);
+  CountThreshold t(100, r);
+  EXPECT_EQ(t.range_lo(), 25u);
+  EXPECT_EQ(t.range_hi(), 34u);
+  for (int i = 0; i < 200; ++i) {
+    const auto thr = t.threshold();
+    EXPECT_GE(thr, 25u);
+    EXPECT_LE(thr, 34u);
+    t.reset_free();
+  }
+}
+
+TEST(CountThreshold, SmallNAlwaysOne) {
+  Rng r(3);
+  for (std::uint64_t n : {1ULL, 2ULL, 3ULL}) {
+    CountThreshold t(n, r);
+    EXPECT_EQ(t.threshold(), 1u);
+    EXPECT_TRUE(t.tick());
+  }
+}
+
+TEST(CountThreshold, Lemma44HitProbability) {
+  // Lemma 4.4: Pr[some partial sum equals y] <= 100 / N.
+  const std::uint64_t N = 64;
+  const std::uint64_t y = 1000;
+  int hits = 0;
+  const int trials = 4000;
+  for (int tr = 0; tr < trials; ++tr) {
+    Rng r(5000 + tr);
+    std::uint64_t sum = 0;
+    while (sum < y) {
+      sum += r.next_in(ceil_div(N, 4), ceil_div(N, 3));
+      if (sum == y) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  const double p = static_cast<double>(hits) / trials;
+  EXPECT_LE(p, 100.0 / N);
+  // And it is not trivially zero: the average gap is ~N/3.6, so the hit
+  // rate should be on the order of 1/N.
+  EXPECT_GT(p, 0.2 / N);
+}
+
+TEST(CeilDiv, Basics) {
+  EXPECT_EQ(ceil_div(10, 3), 4u);
+  EXPECT_EQ(ceil_div(9, 3), 3u);
+  EXPECT_EQ(ceil_div(1, 1), 1u);
+  EXPECT_EQ(ceil_div(0, 5), 0u);
+}
+
+// -- parallel ------------------------------------------------------------
+
+TEST(Parallel, ForCoversAllIndices) {
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(1000, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Parallel, ForPropagatesException) {
+  EXPECT_THROW(
+      parallel_for(100,
+                   [&](std::size_t i) {
+                     if (i == 57) throw std::runtime_error("boom");
+                   }),
+      std::runtime_error);
+}
+
+TEST(Parallel, PoolRunsTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> sum{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&] { sum.fetch_add(1); });
+  }
+  pool.wait();
+  EXPECT_EQ(sum.load(), 100);
+}
+
+TEST(Parallel, PoolPropagatesException) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+}
+
+TEST(Parallel, ZeroItemsIsNoop) {
+  parallel_for(0, [&](std::size_t) { FAIL(); });
+}
+
+// -- table ---------------------------------------------------------------
+
+TEST(Table, RendersAlignedCells) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22222"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("22222"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, RejectsArityMismatch) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), InvariantViolation);
+}
+
+TEST(Table, NumFormatsSignificantDigits) {
+  EXPECT_EQ(Table::num(3.14159, 3), "3.14");
+}
+
+// -- check ----------------------------------------------------------------
+
+TEST(Check, ThrowsWithMessage) {
+  try {
+    MEMREAL_CHECK_MSG(false, "context " << 42);
+    FAIL();
+  } catch (const InvariantViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("context 42"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace memreal

@@ -1,0 +1,284 @@
+// Tests for the workload generators: well-formedness, determinism, size
+// regimes, and the delta-random-item sequence of Section 6.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <unordered_map>
+
+#include "util/check.h"
+#include "workload/adversarial.h"
+#include "workload/churn.h"
+#include "workload/random_item.h"
+#include "workload/trace.h"
+
+namespace memreal {
+namespace {
+
+constexpr Tick kCap = Tick{1} << 40;
+
+TEST(SequenceBuilder, TracksLiveSet) {
+  SequenceBuilder b("t", 1000, 0.1);
+  EXPECT_EQ(b.budget(), 900u);
+  const ItemId a = b.insert(100);
+  b.insert(200);
+  EXPECT_EQ(b.live_mass(), 300u);
+  EXPECT_EQ(b.live_count(), 2u);
+  b.erase_id(a);
+  EXPECT_EQ(b.live_mass(), 200u);
+  const Sequence seq = b.take();
+  EXPECT_EQ(seq.size(), 3u);
+  seq.check_well_formed();
+}
+
+TEST(SequenceBuilder, RejectsOverBudget) {
+  SequenceBuilder b("t", 1000, 0.1);
+  b.insert(850);
+  EXPECT_FALSE(b.can_insert(100));
+  EXPECT_THROW(b.insert(100), InvariantViolation);
+}
+
+TEST(SequenceBuilder, EraseRandomIsDeterministic) {
+  auto run = [] {
+    SequenceBuilder b("t", 1000, 0.1);
+    Rng rng(7);
+    for (int i = 0; i < 8; ++i) b.insert(10);
+    for (int i = 0; i < 4; ++i) b.erase_random(rng);
+    return b.take();
+  };
+  const Sequence s1 = run();
+  const Sequence s2 = run();
+  EXPECT_EQ(s1.updates, s2.updates);
+}
+
+TEST(Sequence, WellFormedCatchesDoubleInsert) {
+  Sequence s;
+  s.capacity = 1000;
+  s.eps = 0.1;
+  s.eps_ticks = 100;
+  s.updates = {Update::insert(1, 10), Update::insert(1, 10)};
+  EXPECT_THROW(s.check_well_formed(), InvariantViolation);
+}
+
+TEST(Sequence, WellFormedCatchesGhostDelete) {
+  Sequence s;
+  s.capacity = 1000;
+  s.eps = 0.1;
+  s.eps_ticks = 100;
+  s.updates = {Update::erase(1, 10)};
+  EXPECT_THROW(s.check_well_formed(), InvariantViolation);
+}
+
+TEST(Churn, RespectsSizeBand) {
+  ChurnConfig c;
+  c.capacity = kCap;
+  c.eps = 1.0 / 16;
+  c.min_size = kCap / 64;
+  c.max_size = kCap / 32;
+  c.churn_updates = 500;
+  const Sequence s = make_churn(c);
+  s.check_well_formed();
+  for (const Update& u : s.updates) {
+    EXPECT_GE(u.size, c.min_size);
+    EXPECT_LE(u.size, c.max_size);
+  }
+}
+
+TEST(Churn, ReachesTargetLoad) {
+  ChurnConfig c;
+  c.capacity = kCap;
+  c.eps = 1.0 / 16;
+  c.min_size = kCap / 1024;
+  c.max_size = kCap / 512;
+  c.target_load = 0.8;
+  c.churn_updates = 0;
+  const Sequence s = make_churn(c);
+  Tick mass = 0;
+  for (const Update& u : s.updates) mass += u.size;
+  const auto budget = static_cast<double>(kCap) * (1.0 - c.eps);
+  EXPECT_GT(static_cast<double>(mass), 0.75 * budget);
+  EXPECT_LE(static_cast<double>(mass), 0.82 * budget);
+}
+
+TEST(Churn, DeterministicBySeed) {
+  ChurnConfig c;
+  c.capacity = kCap;
+  c.eps = 1.0 / 16;
+  c.min_size = kCap / 256;
+  c.max_size = kCap / 128;
+  c.churn_updates = 200;
+  c.seed = 42;
+  EXPECT_EQ(make_churn(c).updates, make_churn(c).updates);
+  c.seed = 43;
+  ChurnConfig c2 = c;
+  c2.seed = 44;
+  EXPECT_NE(make_churn(c).updates, make_churn(c2).updates);
+}
+
+TEST(SimpleRegime, SizesInEps2Eps) {
+  const double eps = 1.0 / 64;
+  const Sequence s = make_simple_regime(kCap, eps, 500, 1);
+  s.check_well_formed();
+  const auto lo = static_cast<Tick>(eps * static_cast<double>(kCap));
+  for (const Update& u : s.updates) {
+    EXPECT_GE(u.size, lo);
+    EXPECT_LT(u.size, 2 * lo);
+  }
+}
+
+TEST(GeoRegime, SizesBelowHugeThreshold) {
+  GeoRegimeConfig c;
+  c.capacity = kCap;
+  c.eps = 1.0 / 64;
+  c.churn_updates = 500;
+  const Sequence s = make_geo_regime(c);
+  s.check_well_formed();
+  const auto cap_d = static_cast<double>(kCap);
+  const auto huge_thr =
+      static_cast<Tick>(std::sqrt(c.eps) / 100.0 * cap_d);
+  const auto lo = static_cast<Tick>(std::sqrt(c.eps) / 200.0 / c.band_ratio *
+                                    cap_d) - 1;
+  for (const Update& u : s.updates) {
+    EXPECT_GE(u.size, lo);
+    EXPECT_LT(u.size, huge_thr);  // no huge items unless requested
+  }
+}
+
+TEST(GeoRegime, HugeFractionProducesHugeItems) {
+  GeoRegimeConfig c;
+  c.capacity = kCap;
+  c.eps = 1.0 / 64;
+  c.huge_fraction = 0.2;
+  c.churn_updates = 2000;
+  const Sequence s = make_geo_regime(c);
+  s.check_well_formed();
+  const auto huge_thr = static_cast<Tick>(
+      std::sqrt(c.eps) / 100.0 * static_cast<double>(kCap));
+  std::size_t huge = 0;
+  for (const Update& u : s.updates) huge += u.size >= huge_thr;
+  EXPECT_GT(huge, 0u);
+}
+
+TEST(RandomItem, CountMatchesPaper) {
+  EXPECT_EQ(random_item_count(0.01), 25u);
+  EXPECT_EQ(random_item_count(1.0 / 128), 32u);
+}
+
+TEST(RandomItem, StructureMatchesSection6) {
+  RandomItemConfig c;
+  c.capacity = kCap;
+  c.eps = 1.0 / 256;
+  c.delta = 1.0 / 128;
+  c.churn_pairs = 50;
+  const Sequence s = make_random_item_sequence(c);
+  s.check_well_formed();
+  const std::size_t n = random_item_count(c.delta);
+  ASSERT_EQ(s.size(), n + 2 * c.churn_pairs);
+  // Prefix: n inserts.
+  for (std::size_t i = 0; i < n; ++i) EXPECT_TRUE(s.updates[i].is_insert());
+  // Then alternating delete / insert.
+  for (std::size_t i = n; i < s.size(); i += 2) {
+    EXPECT_FALSE(s.updates[i].is_insert());
+    EXPECT_TRUE(s.updates[i + 1].is_insert());
+  }
+  // All sizes in [delta, 2delta].
+  const auto lo = static_cast<Tick>(c.delta * static_cast<double>(kCap));
+  for (const Update& u : s.updates) {
+    EXPECT_GE(u.size, lo);
+    EXPECT_LE(u.size, 2 * lo);
+  }
+}
+
+TEST(RandomItem, DefaultDeltaIsPolyEps) {
+  RandomItemConfig c;
+  c.capacity = kCap;
+  c.eps = 1.0 / 256;
+  c.churn_pairs = 5;
+  const Sequence s = make_random_item_sequence(c);
+  const double delta = std::pow(c.eps, 0.75);
+  const auto lo = static_cast<Tick>(delta * static_cast<double>(kCap));
+  EXPECT_GE(s.updates[0].size, lo);
+}
+
+TEST(Adversarial, SingleClassAttackUsesOneSize) {
+  SingleClassAttackConfig c;
+  c.capacity = kCap;
+  c.eps = 1.0 / 64;
+  c.attack_pairs = 100;
+  const Sequence s = make_single_class_attack(c);
+  s.check_well_formed();
+  for (const Update& u : s.updates) EXPECT_EQ(u.size, s.updates[0].size);
+}
+
+TEST(Adversarial, FragmenterAlternatesPhases) {
+  FragmenterConfig c;
+  c.capacity = kCap;
+  c.eps = 1.0 / 16;
+  c.rounds = 2;
+  const Sequence s = make_fragmenter(c);
+  s.check_well_formed();
+  EXPECT_GT(s.size(), 50u);
+}
+
+TEST(Adversarial, SawtoothSwings) {
+  SawtoothConfig c;
+  c.capacity = kCap;
+  c.eps = 1.0 / 16;
+  c.teeth = 2;
+  const Sequence s = make_sawtooth(c);
+  s.check_well_formed();
+  // Live mass must cross both the high and low thresholds.
+  Tick mass = 0, peak = 0;
+  std::unordered_map<ItemId, Tick> live;
+  for (const Update& u : s.updates) {
+    if (u.is_insert()) {
+      live[u.id] = u.size;
+      mass += u.size;
+    } else {
+      mass -= live.at(u.id);
+      live.erase(u.id);
+    }
+    peak = std::max(peak, mass);
+  }
+  const auto budget = static_cast<double>(kCap) * (1 - c.eps);
+  EXPECT_GT(static_cast<double>(peak), 0.8 * budget);
+  EXPECT_LT(static_cast<double>(mass), 0.3 * budget);
+}
+
+TEST(Adversarial, MixedTinyLargeHasBothPopulations) {
+  MixedTinyLargeConfig c;
+  c.capacity = Tick{1} << 50;
+  c.eps = 1.0 / 16;
+  c.churn_updates = 1000;
+  const Sequence s = make_mixed_tiny_large(c);
+  s.check_well_formed();
+  const auto tiny_thr = static_cast<Tick>(
+      std::pow(c.eps, 4.0) * static_cast<double>(c.capacity));
+  std::size_t tiny = 0, large = 0;
+  for (const Update& u : s.updates) {
+    (u.size <= tiny_thr ? tiny : large) += 1;
+  }
+  EXPECT_GT(tiny, 100u);
+  EXPECT_GT(large, 100u);
+}
+
+TEST(Trace, RoundTrip) {
+  ChurnConfig c;
+  c.capacity = kCap;
+  c.eps = 1.0 / 16;
+  c.min_size = kCap / 256;
+  c.max_size = kCap / 128;
+  c.churn_updates = 100;
+  const Sequence s = make_churn(c);
+  const Sequence t = trace_from_string(trace_to_string(s));
+  EXPECT_EQ(s.updates, t.updates);
+  EXPECT_EQ(s.capacity, t.capacity);
+  EXPECT_DOUBLE_EQ(s.eps, t.eps);
+}
+
+TEST(Trace, RejectsGarbage) {
+  EXPECT_THROW(trace_from_string("X 1 2\n"), InvariantViolation);
+  EXPECT_THROW(trace_from_string("I 1 2\n"), InvariantViolation);  // no header
+}
+
+}  // namespace
+}  // namespace memreal

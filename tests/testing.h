@@ -1,0 +1,49 @@
+// Shared helpers for the memreal test suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "alloc/registry.h"
+#include "core/engine.h"
+#include "mem/memory.h"
+#include "workload/sequence.h"
+
+namespace memreal::testing {
+
+/// A Memory wired for exhaustive validation (every update).
+inline Memory strict_memory(Tick capacity, double eps) {
+  ValidationPolicy policy;
+  policy.every_n_updates = 1;
+  return Memory(capacity,
+                static_cast<Tick>(eps * static_cast<double>(capacity)),
+                policy);
+}
+
+/// Runs `allocator_name` over `seq` with full validation and per-update
+/// allocator invariant checks; returns the stats.
+inline RunStats run_with_invariants(const std::string& allocator_name,
+                                    const Sequence& seq,
+                                    std::uint64_t seed = 1,
+                                    double delta = 0.0,
+                                    std::size_t check_every = 1) {
+  ValidationPolicy policy;
+  policy.every_n_updates = 1;
+  Memory mem(seq.capacity, seq.eps_ticks, policy);
+  AllocatorParams params;
+  params.eps = seq.eps;
+  params.delta = delta;
+  params.seed = seed;
+  auto alloc = make_allocator(allocator_name, mem, params);
+  EngineOptions opts;
+  opts.check_invariants_every = check_every;
+  Engine engine(mem, *alloc, opts);
+  RunStats stats = engine.run(seq.updates);
+  mem.validate();
+  alloc->check_invariants();
+  return stats;
+}
+
+}  // namespace memreal::testing
