@@ -1,0 +1,147 @@
+// Registry smoke test: every allocator name that the registry exposes must
+// construct via make_allocator and survive a ~100-update random sequence
+// under exhaustive memory validation and per-update invariant checks.
+//
+// Each allocator only guarantees behaviour on its admissible size regime,
+// so the workload is chosen per name below.  Registering a new allocator
+// without adding a mapping here fails the test — new names can never land
+// without minimal coverage.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "alloc/registry.h"
+#include "testing.h"
+#include "workload/adversarial.h"
+#include "workload/churn.h"
+#include "workload/random_item.h"
+
+namespace memreal {
+namespace {
+
+constexpr Tick kCap = Tick{1} << 50;
+constexpr std::size_t kUpdates = 100;
+
+struct SmokeCase {
+  std::string allocator;
+  double eps = 1.0 / 32;
+  double delta = 0.0;
+};
+
+Sequence smoke_sequence(const SmokeCase& c, std::uint64_t seed) {
+  const std::string& name = c.allocator;
+  if (name == "folklore-compact" || name == "folklore-windowed" ||
+      name == "simple") {
+    return make_simple_regime(kCap, c.eps, kUpdates, seed);
+  }
+  if (name == "geo") {
+    GeoRegimeConfig g;
+    g.capacity = kCap;
+    g.eps = c.eps;
+    g.churn_updates = kUpdates;
+    g.huge_fraction = 0.05;
+    g.seed = seed;
+    return make_geo_regime(g);
+  }
+  if (name == "tinyslab" || name == "flexhash") {
+    // Tiny-item churn: sizes in (0, eps^4] of capacity.
+    const auto cap_d = static_cast<double>(kCap);
+    const auto tiny_hi = static_cast<Tick>(std::pow(c.eps, 4.0) * cap_d);
+    ChurnConfig cc;
+    cc.capacity = kCap;
+    cc.eps = c.eps;
+    cc.min_size = std::max<Tick>(1, tiny_hi / 1024);
+    cc.max_size = tiny_hi;
+    cc.target_load =
+        std::min(0.5, 2000.0 * static_cast<double>(cc.max_size) / cap_d);
+    cc.churn_updates = kUpdates;
+    cc.seed = seed;
+    return make_churn(cc);
+  }
+  if (name == "combined") {
+    MixedTinyLargeConfig m;
+    m.capacity = kCap;
+    m.eps = c.eps;
+    m.churn_updates = kUpdates;
+    m.seed = seed;
+    return make_mixed_tiny_large(m);
+  }
+  if (name == "rsum") {
+    RandomItemConfig r;
+    r.capacity = kCap;
+    r.eps = c.eps;
+    r.delta = c.delta;
+    r.churn_pairs = kUpdates / 2;
+    r.seed = seed;
+    return make_random_item_sequence(r);
+  }
+  if (name == "discrete") {
+    DiscreteChurnConfig d;
+    d.capacity = kCap;
+    d.eps = c.eps;
+    d.churn_updates = kUpdates;
+    d.seed = seed;
+    return make_discrete_churn(d);
+  }
+  ADD_FAILURE() << "allocator '" << name
+                << "' is registered but has no smoke workload; add one to "
+                   "tests/test_registry_smoke.cpp";
+  return Sequence{};
+}
+
+SmokeCase smoke_case(const std::string& name) {
+  SmokeCase c;
+  c.allocator = name;
+  if (name == "rsum") {
+    c.eps = 1.0 / 256;
+    c.delta = 1.0 / 128;
+  }
+  return c;
+}
+
+TEST(RegistrySmoke, NamesAreUniqueAndFactoriesResolve) {
+  auto names = allocator_names();
+  ASSERT_FALSE(names.empty());
+  auto sorted = names;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end())
+      << "duplicate allocator name registered";
+  for (const auto& name : names) {
+    EXPECT_TRUE(allocator_factory(name)) << name;
+  }
+}
+
+TEST(RegistrySmoke, EveryRegisteredAllocatorSurvivesValidatedRandomRun) {
+  for (const auto& name : allocator_names()) {
+    SCOPED_TRACE(name);
+    const SmokeCase c = smoke_case(name);
+    const Sequence seq = smoke_sequence(c, /*seed=*/17);
+    ASSERT_GE(seq.size(), kUpdates) << "workload too short for " << name;
+    seq.check_well_formed();
+    const RunStats stats =
+        testing::run_with_invariants(name, seq, /*seed=*/17, c.delta,
+                                     /*check_every=*/1);
+    EXPECT_EQ(stats.updates, seq.size());
+  }
+}
+
+TEST(RegistrySmoke, ConstructedAllocatorsReportNames) {
+  for (const auto& name : allocator_names()) {
+    SCOPED_TRACE(name);
+    Memory mem = testing::strict_memory(kCap, 1.0 / 32);
+    AllocatorParams p;
+    p.eps = 1.0 / 32;
+    if (name == "rsum") {
+      p.eps = 1.0 / 256;
+      p.delta = 1.0 / 128;
+    }
+    auto alloc = make_allocator(name, mem, p);
+    ASSERT_NE(alloc, nullptr);
+    EXPECT_FALSE(alloc->name().empty());
+  }
+}
+
+}  // namespace
+}  // namespace memreal
