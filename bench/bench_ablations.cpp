@@ -51,7 +51,7 @@ void ablate_geo_thresholds() {
     double grand_mean = 0;
     for (std::uint64_t seed = 1; seed <= runs; ++seed) {
       ValidationPolicy policy;
-      policy.every_n_updates = 4096;
+      policy.audit_every_n_updates = 4096;
       Memory mem(seq.capacity, seq.eps_ticks, policy);
       GeoConfig gc;
       gc.eps = eps;
@@ -95,7 +95,7 @@ void ablate_simple_period() {
       std::floor(std::cbrt(1.0 / eps)));
   for (std::size_t period : {1ul, 2ul, 4ul, paper, 2 * paper}) {
     ValidationPolicy policy;
-    policy.every_n_updates = 1024;
+    policy.audit_every_n_updates = 1024;
     Memory mem(seq.capacity, seq.eps_ticks, policy);
     SimpleAllocator alloc(mem, eps);
     std::string note = period == paper ? "paper's floor(eps^-1/3)" : "";
@@ -135,7 +135,7 @@ void ablate_rsum_block() {
       w.seed = seed;
       const Sequence seq = make_random_item_sequence(w);
       ValidationPolicy policy;
-      policy.every_n_updates = 1024;
+      policy.audit_every_n_updates = 1024;
       Memory mem(seq.capacity, seq.eps_ticks, policy);
       RSumConfig rc;
       rc.eps = eps;
@@ -178,7 +178,7 @@ void ablate_discrete_sizes() {
         w.seed = seed;
         const Sequence seq = make_discrete_churn(w);
         ValidationPolicy policy;
-        policy.every_n_updates = 1024;
+        policy.audit_every_n_updates = 1024;
         Memory mem(seq.capacity, seq.eps_ticks, policy);
         AllocatorParams p;
         p.eps = eps;

@@ -45,7 +45,7 @@ void run_combined_table() {
   c.make_sequence = seq;
   c.eps_values = eps_values;
   c.seeds = 3;
-  c.validate_every = 1024;
+  c.audit_every = 1024;
   const auto rows = run_experiment(c);
   std::cout << "\nCOMBINED on mixed tiny+large churn (50% tiny updates):\n";
   rows_table("combined", rows).print(std::cout);
@@ -66,7 +66,7 @@ void run_flexhash_table() {
            "cost (moved/pushed)", "rotations"});
   for (double eps : {1.0 / 16, 1.0 / 32, 1.0 / 64}) {
     ValidationPolicy policy;
-    policy.every_n_updates = 0;
+    policy.incremental = false;
     const auto eps_t = static_cast<Tick>(eps * static_cast<double>(kCap));
     Memory mem(kCap, eps_t, policy);
     FlexHashConfig fc;
@@ -109,7 +109,7 @@ void run_flexhash_table() {
                               static_cast<double>(pushed), 4),
                std::to_string(flex.rotations())});
     flex.check_invariants();
-    mem.validate();
+    mem.audit();
   }
   std::cout << "\n";
   t.print(std::cout);

@@ -56,7 +56,7 @@ inline void register_throughput(const std::string& name,
         const Sequence seq = make_seq(eps, 1);
         for (auto _ : state) {
           ValidationPolicy policy;
-          policy.every_n_updates = 0;
+          policy.incremental = false;  // pure allocator throughput
           Memory mem(seq.capacity, seq.eps_ticks, policy);
           AllocatorParams params;
           params.eps = eps;

@@ -45,7 +45,7 @@ void run_tables() {
   c.make_sequence = seq;
   c.eps_values = eps_values;
   c.seeds = 3;
-  c.validate_every = 2048;
+  c.audit_every = 2048;
   const auto result = run_comparison(c);
 
   std::cout << "\nMean cost per update (geo regime: log-uniform band below "

@@ -42,7 +42,7 @@ void run_tables() {
   c.make_sequence = seq;
   c.eps_values = eps_values;
   c.seeds = 3;
-  c.validate_every = 1024;
+  c.audit_every = 1024;
   const auto rows = run_experiment(c);
   std::cout << "\nRSUM on delta-random sequences (delta = eps^3/4):\n";
   rows_table("rsum", rows).print(std::cout);
@@ -90,7 +90,7 @@ void run_tables() {
   bc.make_sequence = big_seq;
   bc.eps_values = {1.0 / 64, 1.0 / 256, 1.0 / 1024};
   bc.seeds = 3;
-  bc.validate_every = 1024;
+  bc.audit_every = 1024;
   // delta must be forwarded to the allocator too.
   // (run per eps since delta varies)
   Table bt({"1/eps", "delta", "mean_cost", "max_cost"});

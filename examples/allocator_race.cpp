@@ -90,9 +90,10 @@ int main(int argc, char** argv) {
   const double eps = 1.0 / inv_eps;
   const Tick cap = Tick{1} << 50;
 
-  std::printf("allocator_race: workload=%s 1/eps=%.0f updates=%zu seed=%llu\n\n",
-              kind.c_str(), inv_eps, updates,
-              static_cast<unsigned long long>(seed));
+  std::printf(
+      "allocator_race: workload=%s 1/eps=%.0f updates=%zu seed=%llu\n\n",
+      kind.c_str(), inv_eps, updates,
+      static_cast<unsigned long long>(seed));
   const Sequence seq = build_workload(kind, cap, eps, updates, seed);
 
   Table t({"allocator", "updates", "mean cost", "ratio cost", "p99", "max",
@@ -100,7 +101,7 @@ int main(int argc, char** argv) {
   for (const std::string& name : allocator_names()) {
     if (!admissible(name, kind, eps)) continue;
     ValidationPolicy policy;
-    policy.every_n_updates = 512;
+    policy.audit_every_n_updates = 512;
     Memory mem(seq.capacity, seq.eps_ticks, policy);
     AllocatorParams params;
     params.eps = eps;

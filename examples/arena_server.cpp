@@ -63,7 +63,7 @@ void reader_loop(SharedState* shared, std::uint64_t seed) {
 
 void run_server(const std::string& allocator_name, const Sequence& seq) {
   ValidationPolicy policy;
-  policy.every_n_updates = 256;
+  policy.audit_every_n_updates = 256;  // incremental checks run every update
   Memory mem(seq.capacity, seq.eps_ticks, policy);
   AllocatorParams params;
   params.eps = seq.eps;

@@ -68,7 +68,7 @@ int main() {
     const Sequence trace = make_job_trace(capacity, eps, 8'000, 11);
     for (const char* name : {"folklore-compact", "simple"}) {
       ValidationPolicy policy;
-      policy.every_n_updates = 512;
+      policy.audit_every_n_updates = 512;
       Memory mem(trace.capacity, trace.eps_ticks, policy);
       AllocatorParams params;
       params.eps = eps;

@@ -65,7 +65,7 @@ void figure1_simple() {
   const Tick cap = 1'000'000;
   const double eps = 1.0 / 27;  // eps^-1/3 = 3 classes, period 3
   ValidationPolicy policy;
-  policy.every_n_updates = 1;
+  policy.audit_every_n_updates = 1;
   Memory mem(cap, static_cast<Tick>(eps * double(cap)), policy);
   SimpleAllocator simple(mem, eps);
   Engine engine(mem, simple);
@@ -100,7 +100,7 @@ void figure2_geo() {
   const Tick cap = Tick{1} << 40;
   const double eps = 1.0 / 16;
   ValidationPolicy policy;
-  policy.every_n_updates = 1;
+  policy.audit_every_n_updates = 1;
   Memory mem(cap, static_cast<Tick>(eps * double(cap)), policy);
   GeoConfig gc;
   gc.eps = eps;
@@ -132,7 +132,9 @@ void figure3_flexhash() {
   const Tick cap = Tick{1} << 40;
   const double eps = 1.0 / 8;
   ValidationPolicy policy;
-  policy.every_n_updates = 0;
+  // Keep incremental overlap checks armed; only the resizable span bound
+  // is N/A for standalone FLEXHASH (the engine re-wires it anyway).
+  policy.check_resizable_bound = false;
   Memory mem(cap, static_cast<Tick>(eps * double(cap)), policy);
   FlexHashConfig fc;
   fc.eps = eps;
@@ -178,7 +180,7 @@ void figure4_rsum() {
   const double eps = 1.0 / 256;
   const double delta = 1.0 / 128;  // 32 items -> 4 blocks of m = 8
   ValidationPolicy policy;
-  policy.every_n_updates = 1;
+  policy.audit_every_n_updates = 1;
   Memory mem(cap, static_cast<Tick>(eps * double(cap)), policy);
   RSumConfig rc;
   rc.eps = eps;

@@ -23,7 +23,8 @@ int main() {
   const Tick capacity = Tick{1} << 50;
   const double eps = 1.0 / 32;
   ValidationPolicy policy;
-  policy.every_n_updates = 1;  // validate the layout after every update
+  policy.audit_every_n_updates = 1;  // full audit (plus the always-on
+                                     // incremental checks) every update
   Memory memory(capacity, static_cast<Tick>(eps * double(capacity)), policy);
 
   AllocatorParams params;
@@ -34,7 +35,8 @@ int main() {
 
   // A large item (goes to GEO), a tiny one (goes to FLEXHASH), and churn.
   const Tick large = capacity / 100;
-  const Tick tiny = static_cast<Tick>(std::pow(eps, 4.0) * double(capacity) / 32);
+  const Tick tiny =
+      static_cast<Tick>(std::pow(eps, 4.0) * double(capacity) / 32);
 
   double c1 = engine.step(Update::insert(/*id=*/1, large));
   double c2 = engine.step(Update::insert(/*id=*/2, tiny));
@@ -59,7 +61,7 @@ int main() {
 
   // The memory model throws InvariantViolation if the allocator ever
   // overlaps items or breaks the resizable bound — it hasn't.
-  memory.validate();
+  memory.audit();
   std::printf("\nall invariants verified. quickstart done.\n");
   return 0;
 }

@@ -36,7 +36,8 @@ CombinedAllocator::CombinedAllocator(Memory& mem,
 
   FlexHashConfig fc;
   fc.eps = eps / 2.0;
-  fc.max_tiny_size = tiny_thr_;  // the Section 4.2 threshold uses eps, not eps/2
+  // The Section 4.2 threshold uses eps, not eps/2.
+  fc.max_tiny_size = tiny_thr_;
   fc.region_start = half_eps_ticks_;  // L1 = 0 initially
   fc.seed = seeder.next_u64();
   flex_ = std::make_unique<FlexHashAllocator>(mem, fc);

@@ -51,7 +51,9 @@ class DiscreteAllocator final : public Allocator {
   [[nodiscard]] std::string_view name() const override { return "discrete"; }
   void check_invariants() const override;
 
-  [[nodiscard]] std::size_t distinct_sizes() const { return live_sizes_.size(); }
+  [[nodiscard]] std::size_t distinct_sizes() const {
+    return live_sizes_.size();
+  }
   [[nodiscard]] std::size_t rebuilds() const { return rebuilds_; }
   [[nodiscard]] std::size_t current_period() const { return period_; }
   [[nodiscard]] std::size_t covering_size() const {

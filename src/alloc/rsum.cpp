@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <tuple>
 
 #include "subsetsum/subsetsum.h"
 #include "util/check.h"
@@ -39,12 +40,22 @@ RSumAllocator::RSumAllocator(Memory& mem, const RSumConfig& config)
   big_delta_ = delta_ > eps_ / 4.0;
 
   const double target = 0.75 * static_cast<double>(m_) * delta_ * cap_d;
-  const auto d_ticks = static_cast<double>(delta_lo_);
-  y_target_lo_ = static_cast<Tick>(target - d_ticks);
-  y_target_hi_ = static_cast<Tick>(target + d_ticks);
-  MEMREAL_CHECK(y_target_lo_ >= delta_hi_);
+  std::tie(y_target_lo_, y_target_hi_) = make_y_window(target, delta_lo_);
+  MEMREAL_CHECK_MSG(y_target_lo_ >= delta_hi_,
+                    "Y window [" << y_target_lo_ << ", " << y_target_hi_
+                                 << "] below the max item size " << delta_hi_
+                                 << " (eps/delta too extreme for RSUM)");
 
   resample_r();
+}
+
+std::pair<Tick, Tick> RSumAllocator::make_y_window(double target_mass,
+                                                   Tick d_ticks) {
+  const auto d = static_cast<double>(d_ticks);
+  // Clamp in double space *before* the cast: Tick is unsigned, and
+  // target - d < 0 would wrap to ~2^64 and sail past every sanity check.
+  const double lo = std::max(0.0, target_mass - d);
+  return {static_cast<Tick>(lo), static_cast<Tick>(target_mass + d)};
 }
 
 void RSumAllocator::resample_r() {
@@ -61,64 +72,49 @@ void RSumAllocator::resample_r() {
 // Layout helpers
 // ---------------------------------------------------------------------------
 
-void RSumAllocator::move_item(ItemId id, Tick offset) {
-  const Tick old = mem_->offset_of(id);
-  if (old == offset) return;
-  auto oit = by_offset_.find(old);
-  MEMREAL_CHECK(oit != by_offset_.end() && oit->second == id);
-  by_offset_.erase(oit);
-  mem_->move_to(id, offset);
-  MEMREAL_CHECK_MSG(by_offset_.emplace(offset, id).second,
-                    "offset collision while moving item " << id);
-}
-
-void RSumAllocator::place_new(ItemId id, Tick offset, Tick size) {
-  mem_->place(id, offset, size);
-  MEMREAL_CHECK_MSG(by_offset_.emplace(offset, id).second,
-                    "offset collision while placing item " << id);
-}
-
 void RSumAllocator::remove_item(ItemId id) {
-  auto oit = by_offset_.find(mem_->offset_of(id));
-  MEMREAL_CHECK(oit != by_offset_.end() && oit->second == id);
-  by_offset_.erase(oit);
   mem_->remove(id);
   loc_.erase(id);
 }
 
 void RSumAllocator::apply_moves(
     const std::vector<std::pair<ItemId, Tick>>& moves) {
-  // Batched rearrangement: clear all movers' index entries first so that
-  // transient key collisions between movers cannot corrupt the index.
+  // Batched rearrangement: the memory model's index tolerates transient
+  // collisions mid-batch, but the *final* positions must be collision-
+  // free.  Check that unconditionally (independent of the validation
+  // policy), matching the old erase-then-emplace index discipline: no two
+  // movers share a final offset, no mover lands exactly on a stationary
+  // item.
+  std::unordered_map<Tick, ItemId> targets;  // final offset -> mover
+  std::unordered_map<ItemId, char> movers;
+  targets.reserve(moves.size());
+  movers.reserve(moves.size());
   for (const auto& [id, off] : moves) {
-    auto it = by_offset_.find(mem_->offset_of(id));
-    MEMREAL_CHECK(it != by_offset_.end() && it->second == id);
-    by_offset_.erase(it);
+    const auto [tit, fresh] = targets.emplace(off, id);
+    MEMREAL_CHECK_MSG(fresh, "movers " << tit->second << " and " << id
+                                       << " both land at " << off);
+    movers.emplace(id, 1);
+  }
+  for (const auto& [id, off] : moves) {
+    const auto occ = mem_->first_at_or_after(off);
+    if (occ && occ->offset == off && movers.count(occ->id) == 0) {
+      MEMREAL_CHECK_MSG(false, "mover " << id << " lands at " << off
+                                        << " on stationary item "
+                                        << occ->id);
+    }
   }
   for (const auto& [id, off] : moves) {
     mem_->move_to(id, off);
-    auto [pos, ok] = by_offset_.emplace(off, id);
-    MEMREAL_CHECK_MSG(ok, "mover " << id << " landed at " << off
-                                   << " on stationary item " << pos->second);
   }
 }
 
-Tick RSumAllocator::span_end() const {
-  if (by_offset_.empty()) return 0;
-  const auto& [off, id] = *by_offset_.rbegin();
-  return off + mem_->size_of(id);
-}
-
 bool RSumAllocator::trash_empty() const {
-  if (by_offset_.empty()) return true;
-  return by_offset_.lower_bound(trash_start_) == by_offset_.end();
+  return !mem_->first_at_or_after(trash_start_).has_value();
 }
 
 Tick RSumAllocator::main_end() const {
-  auto it = by_offset_.lower_bound(trash_start_);
-  if (it == by_offset_.begin()) return 0;
-  --it;
-  return it->first + mem_->size_of(it->second);
+  const auto last = mem_->last_before(trash_start_);
+  return last ? last->offset + last->size : 0;
 }
 
 Tick RSumAllocator::buffer_gap() const {
@@ -128,9 +124,7 @@ Tick RSumAllocator::buffer_gap() const {
                     "main body runs past the trash boundary: main_end "
                         << me << " > trash_start " << trash_start_
                         << " (last main item "
-                        << std::prev(by_offset_.lower_bound(trash_start_))
-                               ->second
-                        << ")");
+                        << mem_->last_before(trash_start_)->id << ")");
   return trash_start_ - me;
 }
 
@@ -143,8 +137,8 @@ void RSumAllocator::insert(ItemId id, Tick size) {
                     "RSUM size " << size << " outside [delta, 2delta]");
   MEMREAL_CHECK(loc_.find(id) == loc_.end());
   const bool was_empty = trash_empty();
-  const Tick off = span_end();
-  place_new(id, off, size);
+  const Tick off = mem_->span_end();
+  mem_->place(id, off, size);
   loc_[id] = Loc{/*in_trash=*/true, 0};
   if (was_empty) trash_start_ = off;
 }
@@ -170,27 +164,28 @@ std::optional<std::vector<ItemId>> RSumAllocator::gather_y(ItemId id,
   Tick lo_off = mem_->offset_of(id);
   Tick hi_off = lo_off;
 
-  auto right = by_offset_.upper_bound(hi_off);
-  auto left = by_offset_.find(lo_off);
   // Extend right first, then left; each addition is at most 2delta, the
-  // window width, so the sum cannot jump over the window.
+  // window width, so the sum cannot jump over the window.  Membership
+  // (loc_) is fixed for the whole gather, so once the right neighbour is
+  // rejected it stays rejected until hi_off advances — no re-querying.
+  bool right_open = true;
   while (y < y_target_lo_) {
-    if (right != by_offset_.end() && allowed(right->second)) {
-      y_items.push_back(right->second);
-      y += mem_->size_of(right->second);
-      hi_off = right->first;
-      ++right;
-      continue;
-    }
-    if (left != by_offset_.begin()) {
-      auto prev = std::prev(left);
-      if (allowed(prev->second)) {
-        y_items.insert(y_items.begin(), prev->second);
-        y += mem_->size_of(prev->second);
-        lo_off = prev->first;
-        left = prev;
+    if (right_open) {
+      const auto right = mem_->first_at_or_after(hi_off + 1);
+      if (right && allowed(right->id)) {
+        y_items.push_back(right->id);
+        y += right->size;
+        hi_off = right->offset;
         continue;
       }
+      right_open = false;
+    }
+    const auto left = mem_->last_before(lo_off);
+    if (left && allowed(left->id)) {
+      y_items.insert(y_items.begin(), left->id);
+      y += left->size;
+      lo_off = left->offset;
+      continue;
     }
     return std::nullopt;  // not enough neighbours; caller rebuilds
   }
@@ -223,7 +218,7 @@ void RSumAllocator::push_blocks_from(std::size_t bidx) {
   // Boundary: the leftmost offset belonging to the pushed blocks (all of
   // which are still in their original spans).
   MEMREAL_CHECK(bidx < blocks_.size());
-  const Tick limit = trash_empty() ? span_end() : trash_start_;
+  const Tick limit = trash_empty() ? mem_->span_end() : trash_start_;
   Tick from_off = limit;
   for (std::size_t k = bidx; k < blocks_.size(); ++k) {
     for (ItemId id : blocks_[k].items) {
@@ -238,13 +233,12 @@ void RSumAllocator::push_range(std::size_t bidx, Tick from_off) {
   for (std::size_t k = bidx; k < blocks_.size(); ++k) {
     MEMREAL_CHECK_MSG(!blocks_[k].valid, "pushing a valid block");
   }
-  const Tick limit = trash_empty() ? span_end() : trash_start_;
+  const Tick limit = trash_empty() ? mem_->span_end() : trash_start_;
   // Gather main-body items at or right of the boundary, in offset order.
+  const auto in_range = mem_->items_in(from_off, limit);
   std::vector<ItemId> pushed;
-  for (auto it = by_offset_.lower_bound(from_off);
-       it != by_offset_.end() && it->first < limit; ++it) {
-    pushed.push_back(it->second);
-  }
+  pushed.reserve(in_range.size());
+  for (const auto& item : in_range) pushed.push_back(item.id);
   // Right-align (compact) against the trash start.
   std::vector<std::pair<ItemId, Tick>> moves;
   moves.reserve(pushed.size());
@@ -266,10 +260,9 @@ void RSumAllocator::regulate_buffer_small() {
   // Rotate items from the back of the trash to its front until the buffer
   // fits.  Each rotation moves one item (cost O(1)).
   while (!trash_empty() && buffer_gap() > buffer_cap_) {
-    const auto& [off, id] = *by_offset_.rbegin();
-    const Tick size = mem_->size_of(id);
-    move_item(id, trash_start_ - size);
-    trash_start_ -= size;
+    const auto last = *mem_->last_item();
+    mem_->move_to(last.id, trash_start_ - last.size);
+    trash_start_ -= last.size;
   }
 }
 
@@ -296,14 +289,13 @@ void RSumAllocator::regulate_buffer_big() {
       stash_lo = std::min(stash_lo, mem_->offset_of(id));
     }
     // With the stash removed, main content ends at the previous item.
+    // Fail fast if stash_lo is not an actual placed offset — a stale
+    // boundary would silently skew the gap arithmetic below.
+    const auto at_stash = mem_->first_at_or_after(stash_lo);
+    MEMREAL_CHECK(at_stash && at_stash->offset == stash_lo);
     Tick main_end2 = 0;
-    {
-      auto it = by_offset_.find(stash_lo);
-      MEMREAL_CHECK(it != by_offset_.end());
-      if (it != by_offset_.begin()) {
-        auto p = std::prev(it);
-        main_end2 = p->first + mem_->size_of(p->second);
-      }
+    if (const auto p = mem_->last_before(stash_lo)) {
+      main_end2 = p->offset + p->size;
     }
 
     // Virtual trash (offset order), excluding nothing: the stash is not in
@@ -313,25 +305,27 @@ void RSumAllocator::regulate_buffer_big() {
     std::unordered_map<ItemId, char> planned;
     bool degenerate_rotation = false;
 
-    auto front = by_offset_.lower_bound(trash_start_);
-    Tick vt = trash_start_;  // virtual trash start
-    Tick vend = span_end();  // virtual span end
+    auto front = mem_->first_at_or_after(trash_start_);
+    Tick vt = trash_start_;        // virtual trash start
+    Tick vend = mem_->span_end();  // virtual span end
     Tick gap = vt - main_end2;
     bool grew = false;
     // Grow the gap: front items hop to the end.  Each hop advances the
     // virtual trash start to the next remaining item; if the trash runs
     // dry before the window is reached, the plan cannot work — rebuild.
     while (gap < y_target_lo_) {
-      if (front == by_offset_.end() || std::next(front) == by_offset_.end()) {
+      const std::optional<PlacedItem> next =
+          front ? mem_->first_at_or_after(front->offset + 1)
+                : std::optional<PlacedItem>{};
+      if (!front || !next) {
         degenerate_rotation = true;
         break;
       }
-      const ItemId id = front->second;
-      plan.emplace_back(id, vend);
-      planned.emplace(id, 1);
-      vend += mem_->size_of(id);
-      ++front;
-      vt = front->first;
+      plan.emplace_back(front->id, vend);
+      planned.emplace(front->id, 1);
+      vend += front->size;
+      front = next;
+      vt = front->offset;
       gap = vt - main_end2;
       grew = true;
     }
@@ -339,23 +333,21 @@ void RSumAllocator::regulate_buffer_big() {
     // by at most one item (< window width), so the two loops are mutually
     // exclusive; re-planning an item would corrupt the batch.
     if (!degenerate_rotation && !grew) {
-      auto back = by_offset_.rbegin();
+      auto back = mem_->last_item();
       while (gap > y_target_hi_) {
-        if (back == by_offset_.rend() || back->first < trash_start_ ||
-            planned.count(back->second) > 0) {
+        if (!back || back->offset < trash_start_ ||
+            planned.count(back->id) > 0) {
           degenerate_rotation = true;
           break;
         }
-        const ItemId id = back->second;
-        const Tick size = mem_->size_of(id);
-        MEMREAL_CHECK(vt >= size);
-        vt -= size;
-        plan.emplace_back(id, vt);
-        planned.emplace(id, 1);
-        // The consumed suffix [back->first, old span end) is vacated:
+        MEMREAL_CHECK(vt >= back->size);
+        vt -= back->size;
+        plan.emplace_back(back->id, vt);
+        planned.emplace(back->id, 1);
+        // The consumed suffix [back->offset, old span end) is vacated:
         // later appends start from its base, not the old span end.
-        vend = back->first;
-        ++back;
+        vend = back->offset;
+        back = mem_->last_before(back->offset);
         gap = vt - main_end2;
       }
     }
@@ -422,14 +414,12 @@ void RSumAllocator::rebuild() {
   ++rebuilds_;
   // Collect everything, shuffle, compact, re-block from the right.
   std::vector<ItemId> all;
-  all.reserve(by_offset_.size());
-  for (const auto& [off, id] : by_offset_) all.push_back(id);
+  all.reserve(mem_->item_count());
+  for (const auto& item : mem_->snapshot()) all.push_back(item.id);
   rng_.shuffle(all);
-  by_offset_.clear();
   Tick cur = 0;
   for (ItemId id : all) {
-    if (mem_->offset_of(id) != cur) mem_->move_to(id, cur);
-    by_offset_.emplace(cur, id);
+    mem_->move_to(id, cur);  // no-op when already in place
     cur += mem_->size_of(id);
   }
   // Blocks of m items, partitioned from the right; a leftover prefix forms
@@ -652,7 +642,7 @@ void RSumAllocator::erase(ItemId id) {
 }
 
 void RSumAllocator::check_invariants() const {
-  MEMREAL_CHECK(by_offset_.size() == loc_.size());
+  MEMREAL_CHECK(mem_->item_count() == loc_.size());
   std::size_t vc = 0;
   std::size_t in_blocks = 0;
   for (std::size_t k = 0; k < blocks_.size(); ++k) {

@@ -24,9 +24,9 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <optional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/allocator.h"
@@ -67,6 +67,16 @@ class RSumAllocator final : public Allocator {
   [[nodiscard]] std::size_t compat_failures() const {
     return compat_failures_;
   }
+  [[nodiscard]] std::pair<Tick, Tick> y_window() const {
+    return {y_target_lo_, y_target_hi_};
+  }
+
+  /// The delete-neighbourhood window [target - d, target + d] in ticks,
+  /// clamped at zero in double space: the naive `Tick(target) - d_ticks`
+  /// wraps to a huge value for extreme eps/delta and would then *pass*
+  /// the window sanity checks.
+  [[nodiscard]] static std::pair<Tick, Tick> make_y_window(double target_mass,
+                                                          Tick d_ticks);
 
  private:
   struct Block {
@@ -80,13 +90,11 @@ class RSumAllocator final : public Allocator {
   };
 
   // Layout helpers --------------------------------------------------------
-  void move_item(ItemId id, Tick offset);
-  void place_new(ItemId id, Tick offset, Tick size);
   void remove_item(ItemId id);
   /// Moves a batch of items to new offsets (final positions must be
-  /// pairwise disjoint); safe against transient offset collisions.
+  /// pairwise disjoint); Memory's index tolerates the transient offset
+  /// collisions mid-batch.
   void apply_moves(const std::vector<std::pair<ItemId, Tick>>& moves);
-  [[nodiscard]] Tick span_end() const;
   [[nodiscard]] Tick main_end() const;
   [[nodiscard]] bool trash_empty() const;
   [[nodiscard]] Tick buffer_gap() const;
@@ -122,7 +130,8 @@ class RSumAllocator final : public Allocator {
   bool big_delta_;
   Tick y_target_lo_, y_target_hi_;  ///< (3/4) m delta ± delta
 
-  std::map<Tick, ItemId> by_offset_;
+  // Layout lookups go through Memory's ordered-by-offset index — RSUM
+  // keeps no private offset map (single-layout-index invariant).
   std::unordered_map<ItemId, Loc> loc_;
   std::vector<Block> blocks_;
   std::size_t valid_count_ = 0;

@@ -7,7 +7,7 @@
 //   FolkloreCompact / FolkloreWindowed   — the O(eps^-1) baselines
 //   SimpleAllocator                      — SIMPLE   (Theorem 3.1)
 //   GeoAllocator                         — GEO      (Theorem 4.1)
-//   TinySlabAllocator                    — TINYHASH substitute (items < eps^4)
+//   TinySlabAllocator                    — TINYHASH stand-in (< eps^4)
 //   FlexHashAllocator                    — FLEXHASH (Lemma 4.9)
 //   CombinedAllocator                    — Corollary 4.10
 //   RSumAllocator                        — RSUM     (Theorem 6.1)

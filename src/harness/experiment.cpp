@@ -26,7 +26,8 @@ CellOut run_cell(const ExperimentConfig& c, double eps, std::uint64_t seed) {
   Sequence seq = c.make_sequence(eps, seed);
   MEMREAL_CHECK(!seq.updates.empty());
   ValidationPolicy policy;
-  policy.every_n_updates = c.validate_every;
+  policy.incremental = c.incremental_validation;
+  policy.audit_every_n_updates = c.audit_every;
   Memory mem(seq.capacity, seq.eps_ticks, policy);
   AllocatorParams params;
   params.eps = eps;
@@ -37,7 +38,7 @@ CellOut run_cell(const ExperimentConfig& c, double eps, std::uint64_t seed) {
   opts.check_invariants_every = c.check_invariants_every;
   Engine engine(mem, *alloc, opts);
   RunStats stats = engine.run(seq.updates);
-  mem.validate();
+  mem.audit();
 
   CellOut out;
   out.mean_cost = stats.mean_cost();

@@ -16,7 +16,8 @@ ComparisonResult run_comparison(const ComparisonConfig& c) {
     ec.eps_values = c.eps_values;
     ec.seeds = c.seeds;
     ec.delta = c.delta;
-    ec.validate_every = c.validate_every;
+    ec.incremental_validation = c.incremental_validation;
+    ec.audit_every = c.audit_every;
     ec.threads = c.threads;
     out.rows.push_back(run_experiment(ec));
   }

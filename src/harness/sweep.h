@@ -16,7 +16,10 @@ struct ComparisonConfig {
   std::vector<double> eps_values;
   std::size_t seeds = 3;
   double delta = 0.0;
-  std::size_t validate_every = 256;
+  /// Incremental per-update validation plus a full-audit cadence (0 =
+  /// final audit only) — forwarded to every ExperimentConfig cell.
+  bool incremental_validation = true;
+  std::size_t audit_every = 0;
   std::size_t threads = 0;
 };
 

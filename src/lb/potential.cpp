@@ -29,7 +29,7 @@ CertifiedRun run_certified_lower_bound(const LowerBoundSpec& spec,
                                        std::uint64_t seed) {
   const Sequence seq = make_lower_bound_sequence(spec);
   ValidationPolicy policy;
-  policy.every_n_updates = 1;
+  policy.audit_every_n_updates = 1;  // exhaustive: audit + incremental
   Memory mem(spec.capacity, spec.eps_ticks, policy);
   AllocatorParams params;
   params.eps = spec.eps;

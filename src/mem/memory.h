@@ -9,20 +9,31 @@
 //  * distinguishes an item's true size from its *extent* (the logically
 //    inflated size used by SIMPLE/GEO swaps: "logically inflate item I' to
 //    size |I|"),
-//  * validates, per update or on demand, that extents are pairwise disjoint
-//    and that a resizable allocator keeps everything inside [0, L + eps]
-//    (L = live true mass), and
+//  * validates, incrementally per update and via periodic/explicit full
+//    audits, that extents are pairwise disjoint and that a resizable
+//    allocator keeps everything inside [0, L + eps] (L = live true mass),
 //  * checks the adversary's promise that live mass never exceeds
-//    capacity - eps.
+//    capacity - eps, and
+//  * maintains the system's *single* ordered-by-offset layout index and
+//    exposes it (neighbor/successor queries, ordered iteration) so that
+//    allocators never shadow it with private offset maps.
 //
 // Updates are transactional: the engine brackets each insert/delete with
 // begin_update/end_update, and validation runs at transaction end so that
 // allocators may pass through transient overlapping states mid-rearrange.
+// The incremental check at the bracket close touches only the items
+// mutated during the update and their offset-order neighbors — O(log n)
+// per mutation instead of the O(n log n) full-snapshot audit.
 #pragma once
 
 #include <cstddef>
+#include <map>
+#include <optional>
+#include <set>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "util/check.h"
@@ -30,11 +41,19 @@
 
 namespace memreal {
 
-/// Controls how often full O(n log n) validation runs.
+/// Controls how the layout is validated at the close of each update.
 struct ValidationPolicy {
-  /// Validate at the end of every n-th update; 0 disables periodic
-  /// validation (explicit validate() still works).  Tests use 1.
-  std::size_t every_n_updates = 1;
+  /// Check, at the end of every update, that each item mutated during the
+  /// update is disjoint from its offset-order neighbors, and that the
+  /// global span/load bounds hold.  O(log n) per mutation; catches exactly
+  /// the violations a full audit would (overlap can only involve a touched
+  /// item, see Memory::end_update).
+  bool incremental = true;
+  /// Run the full O(n) audit() at the end of every n-th update; 0 keeps
+  /// audits explicit-only.  Belt-and-suspenders on top of `incremental`
+  /// (it additionally cross-checks the cached mass totals and the index
+  /// structures themselves).
+  std::size_t audit_every_n_updates = 0;
   /// Enforce span_end <= live_mass + eps (the resizable guarantee).
   /// Non-resizable allocators (windowed folklore) set this false and are
   /// checked against span_end <= capacity instead.
@@ -43,7 +62,8 @@ struct ValidationPolicy {
   bool check_load_factor = true;
 };
 
-/// A placed item as seen by introspection (sorted snapshots).
+/// A placed item as seen by introspection (ordered snapshots and the
+/// neighbor-query API).
 struct PlacedItem {
   ItemId id = kNoItem;
   Tick offset = 0;
@@ -53,7 +73,20 @@ struct PlacedItem {
 
 class Memory {
  public:
+  /// Offset-order neighbors of an item (absent at the span boundaries).
+  struct Neighbors {
+    std::optional<PlacedItem> prev;
+    std::optional<PlacedItem> next;
+  };
+
   Memory(Tick capacity, Tick eps_ticks, ValidationPolicy policy = {});
+
+  // Move-only: the id table stores iterators into the offset index, so a
+  // member-wise copy would alias the source's index.
+  Memory(const Memory&) = delete;
+  Memory& operator=(const Memory&) = delete;
+  Memory(Memory&&) = default;
+  Memory& operator=(Memory&&) = default;
 
   // -- Transactions -------------------------------------------------------
 
@@ -61,7 +94,8 @@ class Memory {
   void begin_update(Tick update_size, bool is_insert);
 
   /// Ends the update; returns the total true mass moved during it.  Runs
-  /// full validation according to policy.
+  /// the incremental neighbor checks and, per policy, a periodic full
+  /// audit.
   Tick end_update();
 
   [[nodiscard]] bool in_update() const { return in_update_; }
@@ -87,15 +121,19 @@ class Memory {
   /// Removes an item (free: deallocating costs nothing in the model).
   void remove(ItemId id);
 
-  // -- Queries -------------------------------------------------------------
+  // -- Point queries --------------------------------------------------------
 
   [[nodiscard]] bool contains(ItemId id) const { return items_.count(id) > 0; }
-  [[nodiscard]] Tick offset_of(ItemId id) const { return rec(id).offset; }
-  [[nodiscard]] Tick size_of(ItemId id) const { return rec(id).size; }
-  [[nodiscard]] Tick extent_of(ItemId id) const { return rec(id).extent; }
+  [[nodiscard]] Tick offset_of(ItemId id) const {
+    return iter(id)->first.first;
+  }
+  [[nodiscard]] Tick size_of(ItemId id) const { return iter(id)->second.size; }
+  [[nodiscard]] Tick extent_of(ItemId id) const {
+    return iter(id)->second.extent;
+  }
   [[nodiscard]] Tick end_of(ItemId id) const {
-    const Rec& r = rec(id);
-    return r.offset + r.extent;
+    const auto it = iter(id);
+    return it->first.first + it->second.extent;
   }
 
   [[nodiscard]] std::size_t item_count() const { return items_.size(); }
@@ -103,8 +141,10 @@ class Memory {
   [[nodiscard]] Tick live_mass() const { return live_mass_; }
   /// Sum of extents (>= live_mass; difference is the logical waste).
   [[nodiscard]] Tick extent_mass() const { return extent_mass_; }
-  /// max over items of offset + extent (0 when empty).
-  [[nodiscard]] Tick span_end() const;
+  /// max over items of offset + extent (0 when empty).  O(1).
+  [[nodiscard]] Tick span_end() const {
+    return ends_.empty() ? 0 : *ends_.rbegin();
+  }
 
   [[nodiscard]] Tick capacity() const { return capacity_; }
   [[nodiscard]] Tick eps_ticks() const { return eps_ticks_; }
@@ -113,36 +153,74 @@ class Memory {
   [[nodiscard]] Tick total_moved() const { return total_moved_; }
   [[nodiscard]] std::size_t update_count() const { return updates_; }
 
-  /// Items sorted by offset.
+  // -- Ordered (by-offset) queries — all O(log n) ---------------------------
+
+  /// The item whose extent covers `offset`, if any.
+  [[nodiscard]] std::optional<PlacedItem> item_at(Tick offset) const;
+  /// The leftmost item placed at or beyond `offset` (successor query).
+  [[nodiscard]] std::optional<PlacedItem> first_at_or_after(Tick offset) const;
+  /// The rightmost item placed strictly before `offset` (predecessor).
+  [[nodiscard]] std::optional<PlacedItem> last_before(Tick offset) const;
+  /// Leftmost / rightmost placed item.
+  [[nodiscard]] std::optional<PlacedItem> first_item() const;
+  [[nodiscard]] std::optional<PlacedItem> last_item() const;
+  /// Offset-order neighbors of a placed item.
+  [[nodiscard]] Neighbors neighbors_of(ItemId id) const;
+  /// Items with offset in [from, to), in offset order.  O(log n + k) —
+  /// one index descent plus an iterator walk, not k point queries.
+  [[nodiscard]] std::vector<PlacedItem> items_in(Tick from, Tick to) const;
+
+  /// Items sorted by offset.  O(n) — backed by the index, no sorting.
   [[nodiscard]] std::vector<PlacedItem> snapshot() const;
 
-  /// Free intervals between placed extents inside [0, span_end()].
+  /// Free intervals between placed extents inside [0, span_end()].  O(n).
   [[nodiscard]] std::vector<std::pair<Tick, Tick>> gaps() const;
 
   // -- Validation ----------------------------------------------------------
 
-  /// Full check: extents pairwise disjoint, within bounds, mass totals
-  /// consistent.  Throws InvariantViolation on failure.
-  void validate() const;
+  /// Full O(n) check: extents pairwise disjoint, within bounds, mass
+  /// totals and index caches consistent.  Throws InvariantViolation on
+  /// failure.
+  void audit() const;
 
   ValidationPolicy& policy() { return policy_; }
   [[nodiscard]] const ValidationPolicy& policy() const { return policy_; }
 
  private:
   struct Rec {
-    Tick offset = 0;
     Tick size = 0;
     Tick extent = 0;
   };
 
-  [[nodiscard]] const Rec& rec(ItemId id) const;
-  [[nodiscard]] Rec& rec(ItemId id);
+  /// Layout index: one entry per placed item, ordered by offset.  The id
+  /// is part of the key so that transient mid-update states where two
+  /// items sit at the same offset remain representable.
+  using Index = std::map<std::pair<Tick, ItemId>, Rec>;
+
+  [[nodiscard]] Index::const_iterator iter(ItemId id) const;
+  [[nodiscard]] Index::iterator iter(ItemId id);
+  [[nodiscard]] static PlacedItem placed(Index::const_iterator it) {
+    return PlacedItem{it->first.second, it->first.first, it->second.size,
+                      it->second.extent};
+  }
+  void check_extent_fits(ItemId id, Tick offset, Tick extent) const;
+  /// Neighbor checks for the items touched this update + global bounds.
+  void check_incremental(const std::unordered_set<ItemId>& dirty) const;
+  void check_global_bounds(Tick span) const;
+  [[noreturn]] void fail_resizable_bound(Tick span) const;
 
   Tick capacity_;
   Tick eps_ticks_;
   ValidationPolicy policy_;
 
-  std::unordered_map<ItemId, Rec> items_;
+  Index index_;
+  std::unordered_map<ItemId, Index::iterator> items_;
+  /// Multiset of offset+extent per item: O(1) span_end() in every state,
+  /// including transiently-overlapping mid-update layouts.
+  std::multiset<Tick> ends_;
+  /// Items mutated during the open update (checked at the bracket close).
+  std::unordered_set<ItemId> dirty_;
+
   Tick live_mass_ = 0;
   Tick extent_mass_ = 0;
 

@@ -34,10 +34,16 @@ inline constexpr Tick kDefaultCapacity = Tick{1} << 50;
 /// conservatively back to ticks at configuration time.
 struct Eps {
   double value = 0.0;  ///< eps as a real number in (0, 1).
-  Tick ticks = 0;      ///< floor(eps * capacity).
+  Tick ticks = 0;      ///< max(1, floor(eps * capacity)).
 
   static Eps of(double eps, Tick capacity) {
-    return Eps{eps, static_cast<Tick>(eps * static_cast<double>(capacity))};
+    auto ticks = static_cast<Tick>(eps * static_cast<double>(capacity));
+    // A tiny eps x capacity product must not truncate to zero ticks: with
+    // eps_ticks == 0 the load-factor promise and the resizable bound
+    // [0, L + eps] degenerate to vacuous comparisons.  Memory's
+    // constructor rejects eps_ticks == 0 outright.
+    if (ticks == 0) ticks = 1;
+    return Eps{eps, ticks};
   }
 };
 

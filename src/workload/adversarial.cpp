@@ -33,7 +33,9 @@ Sequence make_single_class_attack(const SingleClassAttackConfig& c) {
 Sequence make_fragmenter(const FragmenterConfig& c) {
   const auto cap_d = static_cast<double>(c.capacity);
   Tick small = c.small_size;
-  if (small == 0) small = std::max<Tick>(1, static_cast<Tick>(c.eps * cap_d / 2));
+  if (small == 0) {
+    small = std::max<Tick>(1, static_cast<Tick>(c.eps * cap_d / 2));
+  }
 
   SequenceBuilder b("fragmenter", c.capacity, c.eps);
   Rng rng(c.seed);
@@ -107,7 +109,9 @@ Sequence make_mixed_tiny_large(const MixedTinyLargeConfig& c) {
   const auto target =
       static_cast<Tick>(c.target_load * static_cast<double>(b.budget()));
   std::vector<ItemId> tiny_ids;
-  for (std::size_t i = 0; i < 2000; ++i) tiny_ids.push_back(b.insert(draw_tiny()));
+  for (std::size_t i = 0; i < 2000; ++i) {
+    tiny_ids.push_back(b.insert(draw_tiny()));
+  }
   while (true) {
     const Tick s = draw_large();
     if (b.live_mass() + s > target) break;

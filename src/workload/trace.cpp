@@ -36,7 +36,8 @@ Sequence read_trace(std::istream& is) {
       ItemId id = 0;
       Tick size = 0;
       ls >> id >> size;
-      MEMREAL_CHECK_MSG(static_cast<bool>(ls), "malformed trace line: " << line);
+      MEMREAL_CHECK_MSG(static_cast<bool>(ls),
+                        "malformed trace line: " << line);
       seq.updates.push_back(tag == 'I' ? Update::insert(id, size)
                                        : Update::erase(id, size));
     } else {

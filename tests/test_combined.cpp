@@ -89,7 +89,7 @@ TEST(Combined, SurvivesMixedChurnFullValidation) {
 TEST(Combined, ResizableBoundHolds) {
   const Sequence seq = mixed_seq(kEps, 800, 5);
   ValidationPolicy policy;
-  policy.every_n_updates = 1;
+  policy.audit_every_n_updates = 1;
   Memory mem(seq.capacity, seq.eps_ticks, policy);
   CombinedConfig c;
   c.eps = kEps;
@@ -141,7 +141,7 @@ TEST(Combined, ExternalUpdateStorm) {
   }
   EXPECT_EQ(mem.item_count(), 50u);
   alloc.check_invariants();
-  mem.validate();
+  mem.audit();
 }
 
 // Parameterized sweep over eps, seed and tiny fraction.

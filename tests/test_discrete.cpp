@@ -50,7 +50,7 @@ TEST(DiscreteWorkload, ZipfSkewsPopularity) {
 TEST(Discrete, ZeroWasteAlways) {
   const Sequence seq = k_sizes(1.0 / 32, 6, 800, 3);
   ValidationPolicy policy;
-  policy.every_n_updates = 1;
+  policy.audit_every_n_updates = 1;
   Memory mem(seq.capacity, seq.eps_ticks, policy);
   DiscreteAllocator alloc(mem);
   EngineOptions opts;
@@ -96,7 +96,7 @@ TEST(Discrete, RejectsTooManyDistinctSizes) {
 TEST(Discrete, AdaptivePeriodTracksSqrtNOverK) {
   const Sequence seq = k_sizes(1.0 / 256, 4, 2000, 5);
   ValidationPolicy policy;
-  policy.every_n_updates = 64;
+  policy.audit_every_n_updates = 64;
   Memory mem(seq.capacity, seq.eps_ticks, policy);
   DiscreteAllocator alloc(mem);
   Engine engine(mem, alloc);
@@ -111,7 +111,7 @@ TEST(Discrete, BeatsSimpleOnFewSizes) {
   const double eps = 1.0 / 512;
   const Sequence seq = k_sizes(eps, 4, 6000, 7);
   ValidationPolicy policy;
-  policy.every_n_updates = 512;
+  policy.audit_every_n_updates = 512;
   auto run = [&](const char* name) {
     Memory mem(seq.capacity, seq.eps_ticks, policy);
     AllocatorParams p;

@@ -52,7 +52,9 @@ TEST(FlexHash, ItemsPlacedAfterRegionStart) {
   // at or beyond it.
   const Tick start = mem.eps_ticks() / 2;
   ValidationPolicy policy;
-  policy.every_n_updates = 0;  // span check does not apply standalone here
+  // Only the resizable span bound is inapplicable standalone; keep the
+  // incremental overlap checks armed.
+  policy.check_resizable_bound = false;
   Memory mem2(kCap, mem.eps_ticks(), policy);
   FlexHashAllocator f(mem2, flex_config(start));
   Engine engine(mem2, f);
@@ -64,7 +66,7 @@ TEST(FlexHash, ItemsPlacedAfterRegionStart) {
 TEST(FlexHash, ExternalPushRightMovesRegion) {
   Memory mem = testing::strict_memory(kCap, kEps);
   ValidationPolicy policy;
-  policy.every_n_updates = 0;
+  policy.check_resizable_bound = false;
   Memory mem2(kCap, mem.eps_ticks(), policy);
   FlexHashAllocator f(mem2, flex_config(0));
   Engine engine(mem2, f);
@@ -82,7 +84,7 @@ TEST(FlexHash, ExternalPushRightMovesRegion) {
 
 TEST(FlexHash, ManySmallExternalUpdatesKeepInvariants) {
   ValidationPolicy policy;
-  policy.every_n_updates = 0;
+  policy.check_resizable_bound = false;
   Memory mem(kCap, static_cast<Tick>(kEps * static_cast<double>(kCap)),
              policy);
   FlexHashConfig c = flex_config(kCap / 4);
@@ -112,12 +114,12 @@ TEST(FlexHash, ManySmallExternalUpdatesKeepInvariants) {
   }
   EXPECT_GT(f.rotations(), 0u);
   // All items still in place, no overlap.
-  mem.validate();
+  mem.audit();
 }
 
 TEST(FlexHash, BigExternalUpdatesRestoreImmediately) {
   ValidationPolicy policy;
-  policy.every_n_updates = 0;
+  policy.check_resizable_bound = false;
   Memory mem(kCap, static_cast<Tick>(kEps * static_cast<double>(kCap)),
              policy);
   FlexHashAllocator f(mem, flex_config(kCap / 4));
@@ -131,12 +133,12 @@ TEST(FlexHash, BigExternalUpdatesRestoreImmediately) {
   f.external_update(x, true);
   mem.end_update();
   f.check_invariants();
-  mem.validate();
+  mem.audit();
   mem.begin_update(x, true);
   f.external_update(x, false);
   mem.end_update();
   f.check_invariants();
-  mem.validate();
+  mem.audit();
 }
 
 TEST(FlexHash, GiantExternalUpdateUsesBulkShift) {
@@ -144,7 +146,7 @@ TEST(FlexHash, GiantExternalUpdateUsesBulkShift) {
   // absorbed by shifting every unit once (cost O(region)), not by cycling
   // rotations; with zero units it is purely notional bookkeeping.
   ValidationPolicy policy;
-  policy.every_n_updates = 0;
+  policy.check_resizable_bound = false;
   Memory mem(kCap, static_cast<Tick>(kEps * static_cast<double>(kCap)),
              policy);
   FlexHashAllocator f(mem, flex_config(kCap / 4));
@@ -173,14 +175,14 @@ TEST(FlexHash, GiantExternalUpdateUsesBulkShift) {
   f.external_update(giant, /*push_right=*/true);
   mem.end_update();
   f.check_invariants();
-  mem.validate();
+  mem.audit();
   // Every item moved at most a few times — not once per deficit unit.
   EXPECT_LE(mem.total_moved() - moved_before, 3 * mem.live_mass());
 }
 
 TEST(FlexHash, UnitDestructionSwapsFinalUnit) {
   ValidationPolicy policy;
-  policy.every_n_updates = 1;
+  policy.audit_every_n_updates = 1;
   Memory mem(kCap, static_cast<Tick>(kEps * static_cast<double>(kCap)),
              policy);
   FlexHashAllocator f(mem, flex_config(0));
@@ -193,12 +195,12 @@ TEST(FlexHash, UnitDestructionSwapsFinalUnit) {
   for (ItemId i = 1; i < next - 4; ++i) engine.step(Update::erase(i, s));
   EXPECT_LT(f.unit_count(), units_before);
   f.check_invariants();
-  mem.validate();
+  mem.audit();
 }
 
 TEST(FlexHash, SurvivesMixedChurnWithRotations) {
   ValidationPolicy policy;
-  policy.every_n_updates = 4;
+  policy.audit_every_n_updates = 4;
   Memory mem(kCap, static_cast<Tick>(kEps * static_cast<double>(kCap)),
              policy);
   FlexHashAllocator f(mem, flex_config(kCap / 8));
@@ -233,7 +235,7 @@ TEST(FlexHash, SurvivesMixedChurnWithRotations) {
     if (i % 50 == 0) f.check_invariants();
   }
   f.check_invariants();
-  mem.validate();
+  mem.audit();
 }
 
 }  // namespace

@@ -100,7 +100,7 @@ TEST(FolkloreWindowed, PigeonholeTriggersUnderFragmentation) {
   c.rounds = 3;
   const Sequence seq = make_fragmenter(c);
   ValidationPolicy policy;
-  policy.every_n_updates = 1;
+  policy.audit_every_n_updates = 1;
   Memory mem(seq.capacity, seq.eps_ticks, policy);
   FolkloreWindowed alloc(mem);
   Engine engine(mem, alloc);
@@ -115,7 +115,7 @@ TEST(FolkloreWindowed, CostBoundedByEpsInverse) {
   c.rounds = 3;
   const Sequence seq = make_fragmenter(c);
   ValidationPolicy policy;
-  policy.every_n_updates = 1;
+  policy.audit_every_n_updates = 1;
   Memory mem(seq.capacity, seq.eps_ticks, policy);
   FolkloreWindowed alloc(mem);
   Engine engine(mem, alloc);

@@ -122,7 +122,7 @@ TEST(Geo, SwapInflatesAndRecovers) {
   c.seed = 3;
   const Sequence seq = make_geo_regime(c);
   ValidationPolicy policy;
-  policy.every_n_updates = 64;
+  policy.audit_every_n_updates = 64;
   Memory mem(seq.capacity, seq.eps_ticks, policy);
   GeoAllocator geo = make_geo(mem, eps);
   EngineOptions opts;
@@ -139,7 +139,7 @@ TEST(Geo, WasteBoundedByEps) {
   const double eps = 1.0 / 64;
   const Sequence seq = geo_seq(eps, 800, 5);
   ValidationPolicy policy;
-  policy.every_n_updates = 1;
+  policy.audit_every_n_updates = 1;
   Memory mem(seq.capacity, seq.eps_ticks, policy);
   GeoAllocator geo = make_geo(mem, eps);
   Engine engine(mem, geo);
@@ -176,7 +176,7 @@ TEST(Geo, LevelItemCountsAreNested) {
   const double eps = 1.0 / 64;
   const Sequence seq = geo_seq(eps, 400, 8);
   ValidationPolicy policy;
-  policy.every_n_updates = 1;
+  policy.audit_every_n_updates = 1;
   Memory mem(seq.capacity, seq.eps_ticks, policy);
   GeoAllocator geo = make_geo(mem, eps);
   Engine engine(mem, geo);
@@ -264,7 +264,7 @@ TEST(Geo, DeterministicThresholdAblationStillCorrect) {
   c.attack_pairs = 400;
   const Sequence seq = make_single_class_attack(c);
   ValidationPolicy policy;
-  policy.every_n_updates = 1;
+  policy.audit_every_n_updates = 1;
   Memory mem(seq.capacity, seq.eps_ticks, policy);
   GeoConfig gc;
   gc.eps = eps;

@@ -24,7 +24,7 @@ TEST(Harness, RunsGridAndAggregates) {
   c.make_sequence = simple_factory(200);
   c.eps_values = {1.0 / 8, 1.0 / 16};
   c.seeds = 2;
-  c.validate_every = 64;
+  c.audit_every = 64;
   const auto rows = run_experiment(c);
   ASSERT_EQ(rows.size(), 2u);
   EXPECT_DOUBLE_EQ(rows[0].eps, 1.0 / 8);
@@ -90,7 +90,7 @@ TEST(Harness, ComparisonProducesTables) {
   c.make_sequence = simple_factory(200);
   c.eps_values = {1.0 / 8, 1.0 / 16, 1.0 / 32};
   c.seeds = 1;
-  c.validate_every = 128;
+  c.audit_every = 128;
   const auto result = run_comparison(c);
   ASSERT_EQ(result.rows.size(), 2u);
   const Table cost = result.cost_table();

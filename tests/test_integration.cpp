@@ -114,7 +114,7 @@ TEST(Integration, CostOrderingAtSmallEps) {
   const double eps = 1.0 / 512;
   const Sequence seq = make_simple_regime(kCap, eps, 3000, 42);
   ValidationPolicy policy;
-  policy.every_n_updates = 256;
+  policy.audit_every_n_updates = 256;
 
   auto run = [&](const char* name) {
     Memory mem(seq.capacity, seq.eps_ticks, policy);
@@ -146,7 +146,7 @@ TEST(Integration, GeoCostGrowsSubLinearly) {
     g.seed = 5;
     const Sequence seq = make_geo_regime(g);
     ValidationPolicy policy;
-    policy.every_n_updates = 512;
+    policy.audit_every_n_updates = 512;
     Memory mem(seq.capacity, seq.eps_ticks, policy);
     AllocatorParams p;
     p.eps = eps;
@@ -177,7 +177,7 @@ TEST_P(DrainSweep, InsertAllDeleteAll) {
   for (ItemId id : ids) b.erase_id(id);
   const Sequence seq = b.take();
   ValidationPolicy policy;
-  policy.every_n_updates = 1;
+  policy.audit_every_n_updates = 1;
   Memory mem(seq.capacity, seq.eps_ticks, policy);
   AllocatorParams p;
   p.eps = eps;

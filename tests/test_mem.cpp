@@ -1,17 +1,17 @@
 // Unit tests for the validating memory model.
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "mem/memory.h"
 #include "util/check.h"
+#include "util/types.h"
 
 namespace memreal {
 namespace {
 
-Memory make(Tick cap = 1000, Tick eps = 100) {
-  ValidationPolicy p;
-  p.every_n_updates = 1;
-  return Memory(cap, eps, p);
-}
+// Default policy: incremental O(log n) checks at the end of every update.
+Memory make(Tick cap = 1000, Tick eps = 100) { return Memory(cap, eps); }
 
 TEST(Memory, PlaceAndQuery) {
   Memory m = make();
@@ -86,7 +86,6 @@ TEST(Memory, ResizableBoundEnforced) {
 
 TEST(Memory, ResizableBoundCanBeDisabled) {
   ValidationPolicy p;
-  p.every_n_updates = 1;
   p.check_resizable_bound = false;
   Memory m(1000, 100, p);
   m.begin_update(50, true);
@@ -229,17 +228,201 @@ TEST(Memory, PlacementBeyondCapacityRejected) {
   m.end_update();
 }
 
-TEST(Memory, ValidationCadenceRespected) {
+TEST(Memory, AuditCadenceRespected) {
   ValidationPolicy p;
-  p.every_n_updates = 2;  // validate on every second update
+  p.incremental = false;       // only the periodic audit runs
+  p.audit_every_n_updates = 2;  // ... on every second update
   Memory m(1000, 100, p);
   m.begin_update(50, true);
   m.place(1, 0, 50);
-  m.place(2, 25, 50);    // overlap, but not validated yet
+  m.place(2, 25, 50);  // overlap, but not audited yet
   EXPECT_NO_THROW(m.end_update());
   m.begin_update(1, true);
   m.place(3, 500, 1);
   EXPECT_THROW(m.end_update(), InvariantViolation);
+}
+
+TEST(Memory, IncrementalCatchesOverlapEveryUpdate) {
+  // With incremental checks on (and no audit cadence at all), an overlap
+  // is rejected at the close of the very update that created it.
+  ValidationPolicy p;
+  p.audit_every_n_updates = 0;
+  Memory m(1000, 100, p);
+  m.begin_update(50, true);
+  m.place(1, 0, 50);
+  m.end_update();
+  m.begin_update(50, true);
+  m.place(2, 25, 50);
+  EXPECT_THROW(m.end_update(), InvariantViolation);
+}
+
+TEST(Memory, IncrementalCatchesOverlapCreatedByMoveAndExtent) {
+  Memory m(1000, 500);
+  m.begin_update(10, true);
+  m.place(1, 0, 10);
+  m.place(2, 100, 10);
+  m.place(3, 200, 10);
+  m.end_update();
+  m.begin_update(1, true);
+  m.place(4, 300, 1);
+  m.move_to(3, 105);  // lands inside item 2's extent
+  EXPECT_THROW(m.end_update(), InvariantViolation);
+  m.begin_update(1, true);
+  m.move_to(3, 200);
+  m.set_extent(1, 150);  // now spills over item 2
+  EXPECT_THROW(m.end_update(), InvariantViolation);
+}
+
+TEST(Memory, IncrementalRechecksResizableBoundOnRemoval) {
+  // A delete moves nothing yet can still break span <= L + eps; the
+  // incremental close must re-check the global bound even when nothing
+  // overlaps.
+  Memory m(1000, 100);
+  m.begin_update(500, true);
+  m.place(1, 0, 500);
+  m.end_update();
+  m.begin_update(50, true);
+  m.place(2, 500, 50);  // span 550 == live 550: fine
+  m.end_update();
+  m.begin_update(500, false);
+  m.remove(1);  // span still 550 > live 50 + eps 100
+  EXPECT_THROW(m.end_update(), InvariantViolation);
+}
+
+// -- Regression: unsigned wraparound in the bounds checks -----------------
+
+TEST(Memory, PlaceOffsetNearMaxRejected) {
+  // offset + extent used to wrap past the capacity comparison.
+  Memory m = make();
+  m.begin_update(50, true);
+  EXPECT_THROW(m.place(1, std::numeric_limits<Tick>::max() - 10, 50),
+               InvariantViolation);
+  EXPECT_THROW(m.place(1, std::numeric_limits<Tick>::max(), 50),
+               InvariantViolation);
+  m.place(1, 0, 50);
+  m.end_update();
+}
+
+TEST(Memory, MoveOffsetNearMaxRejected) {
+  Memory m = make();
+  m.begin_update(50, true);
+  m.place(1, 0, 50);
+  EXPECT_THROW(m.move_to(1, std::numeric_limits<Tick>::max() - 10),
+               InvariantViolation);
+  m.end_update();
+  EXPECT_EQ(m.offset_of(1), 0u);
+}
+
+TEST(Memory, ExtentNearMaxRejected) {
+  Memory m = make();
+  m.begin_update(50, true);
+  m.place(1, 100, 50);
+  EXPECT_THROW(m.set_extent(1, std::numeric_limits<Tick>::max() - 50),
+               InvariantViolation);
+  m.move_to(1, 0);
+  m.end_update();
+  EXPECT_EQ(m.extent_of(1), 50u);
+}
+
+// -- Regression: eps truncating to zero ticks -----------------------------
+
+TEST(Memory, ZeroEpsTicksRejected) {
+  EXPECT_THROW(Memory(1000, 0), InvariantViolation);
+}
+
+TEST(Eps, TinyEpsRoundsUpToOneTick) {
+  const Eps e = Eps::of(1e-12, 1000);
+  EXPECT_EQ(e.ticks, 1u);  // never 0: the bound checks must stay armed
+  EXPECT_EQ(Eps::of(0.25, 1000).ticks, 250u);
+  EXPECT_NO_THROW(Memory(1000, Eps::of(1e-12, 1000).ticks));
+}
+
+// -- Ordered neighbor/successor queries -----------------------------------
+
+TEST(Memory, OrderedQueries) {
+  Memory m = make(1000, 900);
+  m.begin_update(10, true);
+  m.place(1, 0, 10);
+  m.place(2, 30, 10);
+  m.place(3, 60, 10);
+  m.set_extent(3, 20);
+  m.end_update();
+
+  ASSERT_TRUE(m.first_item().has_value());
+  EXPECT_EQ(m.first_item()->id, 1u);
+  ASSERT_TRUE(m.last_item().has_value());
+  EXPECT_EQ(m.last_item()->id, 3u);
+  EXPECT_EQ(m.last_item()->extent, 20u);
+
+  // item_at: covering query over extents.
+  EXPECT_EQ(m.item_at(0)->id, 1u);
+  EXPECT_EQ(m.item_at(9)->id, 1u);
+  EXPECT_FALSE(m.item_at(10).has_value());  // gap
+  EXPECT_EQ(m.item_at(75)->id, 3u);         // inside the inflated extent
+  EXPECT_FALSE(m.item_at(80).has_value());
+
+  // Successor / predecessor.
+  EXPECT_EQ(m.first_at_or_after(0)->id, 1u);
+  EXPECT_EQ(m.first_at_or_after(1)->id, 2u);
+  EXPECT_EQ(m.first_at_or_after(30)->id, 2u);
+  EXPECT_FALSE(m.first_at_or_after(61).has_value());
+  EXPECT_FALSE(m.last_before(0).has_value());
+  EXPECT_EQ(m.last_before(30)->id, 1u);
+  EXPECT_EQ(m.last_before(31)->id, 2u);
+  EXPECT_EQ(m.last_before(1000)->id, 3u);
+
+  const auto n2 = m.neighbors_of(2);
+  ASSERT_TRUE(n2.prev.has_value());
+  ASSERT_TRUE(n2.next.has_value());
+  EXPECT_EQ(n2.prev->id, 1u);
+  EXPECT_EQ(n2.next->id, 3u);
+  EXPECT_FALSE(m.neighbors_of(1).prev.has_value());
+  EXPECT_FALSE(m.neighbors_of(3).next.has_value());
+}
+
+TEST(Memory, OrderedQueriesOnEmptyMemory) {
+  Memory m = make();
+  EXPECT_FALSE(m.first_item().has_value());
+  EXPECT_FALSE(m.last_item().has_value());
+  EXPECT_FALSE(m.item_at(0).has_value());
+  EXPECT_FALSE(m.first_at_or_after(0).has_value());
+  EXPECT_FALSE(m.last_before(1000).has_value());
+}
+
+TEST(Memory, SpanEndTracksMovesAndRemovals) {
+  Memory m = make(1000, 900);
+  m.begin_update(10, true);
+  m.place(1, 0, 10);
+  m.place(2, 50, 10);
+  m.end_update();
+  EXPECT_EQ(m.span_end(), 60u);
+  m.begin_update(10, false);
+  m.remove(2);
+  m.end_update();
+  EXPECT_EQ(m.span_end(), 10u);
+  m.begin_update(10, true);
+  m.place(3, 20, 10);
+  m.set_extent(3, 40);
+  m.end_update();
+  EXPECT_EQ(m.span_end(), 60u);
+  m.begin_update(1, true);
+  m.reset_extent(3);
+  m.place(4, 90, 1);
+  m.end_update();
+  EXPECT_EQ(m.span_end(), 91u);
+}
+
+TEST(Memory, AuditDetectsWhatIncrementalAccepted) {
+  // incremental = false lets an overlap survive the bracket close;
+  // an explicit audit must still reject it.
+  ValidationPolicy p;
+  p.incremental = false;
+  Memory m(1000, 100, p);
+  m.begin_update(50, true);
+  m.place(1, 0, 50);
+  m.place(2, 25, 50);
+  EXPECT_NO_THROW(m.end_update());
+  EXPECT_THROW(m.audit(), InvariantViolation);
 }
 
 }  // namespace

@@ -109,7 +109,7 @@ class FuzzSweep : public ::testing::TestWithParam<FuzzParam> {};
 TEST_P(FuzzSweep, OnlineFuzzWithFullValidation) {
   const FuzzParam p = GetParam();
   ValidationPolicy policy;
-  policy.every_n_updates = 1;
+  policy.audit_every_n_updates = 1;
   const auto eps_t = static_cast<Tick>(p.eps * static_cast<double>(kCap));
   Memory mem(kCap, eps_t, policy);
   AllocatorParams ap;
@@ -131,14 +131,14 @@ TEST_P(FuzzSweep, OnlineFuzzWithFullValidation) {
   }
   EXPECT_GT(steps, 600u);
   alloc->check_invariants();
-  mem.validate();
+  mem.audit();
 }
 
 TEST_P(FuzzSweep, DeterministicLayouts) {
   const FuzzParam p = GetParam();
   auto run = [&]() {
     ValidationPolicy policy;
-    policy.every_n_updates = 0;
+    policy.incremental = false;
     const auto eps_t = static_cast<Tick>(p.eps * static_cast<double>(kCap));
     Memory mem(kCap, eps_t, policy);
     AllocatorParams ap;
@@ -167,7 +167,7 @@ TEST_P(FuzzSweep, DeterministicLayouts) {
 TEST_P(FuzzSweep, MovedMassAccountingConsistent) {
   const FuzzParam p = GetParam();
   ValidationPolicy policy;
-  policy.every_n_updates = 0;
+  policy.incremental = false;
   const auto eps_t = static_cast<Tick>(p.eps * static_cast<double>(kCap));
   Memory mem(kCap, eps_t, policy);
   AllocatorParams ap;
@@ -207,6 +207,98 @@ INSTANTIATE_TEST_SUITE_P(
         FuzzParam{"discrete", 1.0 / 32, 0, 10},
         FuzzParam{"rsum", 1.0 / 256, 1.0 / 2048, 11},
         FuzzParam{"rsum", 1.0 / 256, 1.0 / 128, 12}));
+
+// -- Incremental validation == full audit ---------------------------------
+//
+// Drives randomized insert/delete/move/extent sequences — mostly valid,
+// with occasional deliberately-corrupt mutations — through two mirrored
+// Memory instances: A closes every update with the incremental neighbor
+// checks, B runs no per-update checks and is audited explicitly.  The two
+// must accept/reject exactly the same updates.
+TEST(IncrementalValidation, MatchesFullAuditOnRandomSequences) {
+  constexpr Tick kPropCap = 1 << 20;
+  constexpr Tick kEpsTicks = kPropCap / 2;
+
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    ValidationPolicy inc_policy;  // incremental on, no audits
+    ValidationPolicy audit_policy;
+    audit_policy.incremental = false;
+    Memory a(kPropCap, kEpsTicks, inc_policy);
+    Memory b(kPropCap, kEpsTicks, audit_policy);
+    Rng rng(seed * 977 + 13);
+
+    std::vector<ItemId> live;
+    ItemId next_id = 1;
+    bool diverged = false;
+    for (int step = 0; step < 120 && !diverged; ++step) {
+      // One update: a small batch of mirrored mutations.
+      const Tick usize = 1 + rng.next_below(64);
+      a.begin_update(usize, /*is_insert=*/true);
+      b.begin_update(usize, /*is_insert=*/true);
+      const auto ops = 1 + rng.next_below(3);
+      for (std::uint64_t op = 0; op < ops; ++op) {
+        const auto kind = rng.next_below(10);
+        // Corrupt offsets: inside the occupied span (likely overlap) or
+        // far beyond it (likely resizable-bound violation).
+        const auto pick_offset = [&]() -> Tick {
+          if (rng.next_below(8) != 0) return a.span_end();  // snug: valid
+          if (rng.next_below(2) == 0 && a.span_end() > 0) {
+            return Tick{rng.next_below(a.span_end())};
+          }
+          return kEpsTicks + Tick{rng.next_below(kPropCap / 2 - 256)};
+        };
+        if (kind < 5 || live.empty()) {
+          const Tick size = 1 + rng.next_below(64);
+          const Tick off = pick_offset();
+          const ItemId id = next_id++;
+          a.place(id, off, size);
+          b.place(id, off, size);
+          live.push_back(id);
+        } else if (kind < 7) {
+          const auto k = static_cast<std::size_t>(
+              rng.next_below(live.size()));
+          const ItemId id = live[k];
+          live.erase(live.begin() + static_cast<std::ptrdiff_t>(k));
+          a.remove(id);
+          b.remove(id);
+        } else if (kind < 9) {
+          const auto k = static_cast<std::size_t>(
+              rng.next_below(live.size()));
+          const Tick off = pick_offset();
+          a.move_to(live[k], off);
+          b.move_to(live[k], off);
+        } else {
+          // Extent inflation by a small (sometimes overlapping) amount.
+          const auto k = static_cast<std::size_t>(
+              rng.next_below(live.size()));
+          const Tick grow = rng.next_below(96);
+          const Tick ext = a.size_of(live[k]) + grow;
+          a.set_extent(live[k], ext);
+          b.set_extent(live[k], ext);
+        }
+      }
+      bool a_rejects = false;
+      bool b_rejects = false;
+      try {
+        a.end_update();
+      } catch (const InvariantViolation&) {
+        a_rejects = true;
+      }
+      try {
+        b.end_update();
+        b.audit();
+      } catch (const InvariantViolation&) {
+        b_rejects = true;
+      }
+      EXPECT_EQ(a_rejects, b_rejects)
+          << "incremental/audit divergence at seed " << seed << " step "
+          << step;
+      // A violation leaves a corrupt layout behind; stop this run and move
+      // to the next seed.
+      diverged = a_rejects || b_rejects;
+    }
+  }
+}
 
 // Registry sanity.
 TEST(Registry, KnowsAllAllocators) {

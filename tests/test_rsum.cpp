@@ -50,6 +50,42 @@ TEST(RSum, BigDeltaModeDetection) {
   EXPECT_FALSE(small.big_delta_mode());
 }
 
+TEST(RSum, YWindowNeverWrapsBelowZero) {
+  // Regression: y_target_lo_ = Tick(target - d_ticks) wrapped to ~2^64
+  // when target < d_ticks, and the wrapped value then *passed* the
+  // y_target_lo_ >= delta_hi_ sanity check.  The clamp happens in double
+  // space before the cast.
+  const auto [lo0, hi0] = RSumAllocator::make_y_window(10.0, 50);
+  EXPECT_EQ(lo0, 0u);  // clamped, not wrapped
+  EXPECT_EQ(hi0, 60u);
+  const auto [lo1, hi1] = RSumAllocator::make_y_window(100.0, 30);
+  EXPECT_EQ(lo1, 70u);
+  EXPECT_EQ(hi1, 130u);
+  // Exact boundary: target == d_ticks.
+  EXPECT_EQ(RSumAllocator::make_y_window(50.0, 50).first, 0u);
+}
+
+TEST(RSum, YWindowSaneAcrossConfigGrid) {
+  // Every admissible (eps, delta) must produce a non-wrapped window that
+  // sits above the max item size — the constructor's sanity check, now
+  // exercised across extremes.
+  for (const double eps : {1.0 / 16, 1.0 / 256, 1.0 / 4096}) {
+    for (const double mult : {0.25, 1.0, 4.0}) {
+      const double delta = std::pow(eps, 0.75) * mult;
+      if (delta <= 0 || delta >= 0.25) continue;
+      Memory mem = testing::strict_memory(kCap, eps);
+      RSumConfig c;
+      c.eps = eps;
+      c.delta = delta;
+      RSumAllocator r(mem, c);
+      const auto [lo, hi] = r.y_window();
+      EXPECT_LT(lo, hi);
+      EXPECT_LT(hi, kCap) << "wrapped window at eps " << eps << " delta "
+                          << delta;
+    }
+  }
+}
+
 TEST(RSum, GapBoundMatchesPaper) {
   Memory mem = testing::strict_memory(kCap, 1.0 / 256);
   RSumConfig c;
@@ -130,7 +166,7 @@ TEST(RSum, DecisionTimeTracked) {
   const double delta = 1.0 / 512;
   const Sequence seq = delta_seq(eps, delta, 300, 11);
   ValidationPolicy policy;
-  policy.every_n_updates = 16;
+  policy.audit_every_n_updates = 16;
   Memory mem(seq.capacity, seq.eps_ticks, policy);
   RSumConfig c;
   c.eps = eps;
@@ -150,7 +186,7 @@ TEST(RSum, CompatChecksAreMostlySuccessful) {
   const double delta = 1.0 / 4096;
   const Sequence seq = delta_seq(eps, delta, 1500, 13);
   ValidationPolicy policy;
-  policy.every_n_updates = 64;
+  policy.audit_every_n_updates = 64;
   Memory mem(seq.capacity, seq.eps_ticks, policy);
   RSumConfig c;
   c.eps = eps;
@@ -171,7 +207,7 @@ TEST(RSum, RebuildsAreInfrequent) {
   const double delta = 1.0 / 4096;
   const Sequence seq = delta_seq(eps, delta, 1500, 17);
   ValidationPolicy policy;
-  policy.every_n_updates = 64;
+  policy.audit_every_n_updates = 64;
   Memory mem(seq.capacity, seq.eps_ticks, policy);
   RSumConfig c;
   c.eps = eps;
@@ -217,7 +253,7 @@ TEST(RSum, StubBlockDeletesHandled) {
     ++next;
   }
   r.check_invariants();
-  mem.validate();
+  mem.audit();
 }
 
 TEST(RSum, PingPongAtTrashBoundary) {
@@ -246,7 +282,7 @@ TEST(RSum, PingPongAtTrashBoundary) {
     ++next;
   }
   r.check_invariants();
-  mem.validate();
+  mem.audit();
   EXPECT_EQ(mem.item_count(), 128u);
 }
 

@@ -104,7 +104,7 @@ TEST(Simple, LayoutContiguousInExtents) {
   const double eps = 1.0 / 32;
   const Sequence seq = regime(eps, 300, 3);
   ValidationPolicy policy;
-  policy.every_n_updates = 1;
+  policy.audit_every_n_updates = 1;
   Memory mem(seq.capacity, seq.eps_ticks, policy);
   SimpleAllocator alloc(mem, eps);
   Engine engine(mem, alloc);
@@ -121,7 +121,7 @@ TEST(Simple, ResizableBoundHolds) {
   const double eps = 1.0 / 32;
   const Sequence seq = regime(eps, 400, 5);
   ValidationPolicy policy;
-  policy.every_n_updates = 1;
+  policy.audit_every_n_updates = 1;
   Memory mem(seq.capacity, seq.eps_ticks, policy);
   SimpleAllocator alloc(mem, eps);
   Engine engine(mem, alloc);
@@ -141,7 +141,7 @@ TEST(Simple, CoveringSetSizeBounded) {
   const double eps = 1.0 / 64;
   const Sequence seq = regime(eps, 500, 11);
   ValidationPolicy policy;
-  policy.every_n_updates = 1;
+  policy.audit_every_n_updates = 1;
   Memory mem(seq.capacity, seq.eps_ticks, policy);
   SimpleAllocator alloc(mem, eps);
   Engine engine(mem, alloc);
@@ -190,7 +190,7 @@ TEST(Simple, AmortizationConventionsAgreeOnBand) {
   const double eps = 1.0 / 128;
   const Sequence seq = regime(eps, 2000, 13);
   ValidationPolicy policy;
-  policy.every_n_updates = 128;
+  policy.audit_every_n_updates = 128;
   Memory mem(seq.capacity, seq.eps_ticks, policy);
   SimpleAllocator alloc(mem, eps);
   Engine engine(mem, alloc);

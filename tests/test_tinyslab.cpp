@@ -117,7 +117,7 @@ TEST(TinySlab, ItemsNeverSpanUnits) {
   const double eps = 1.0 / 16;
   const Sequence seq = tiny_seq(eps, 800, 3);
   ValidationPolicy policy;
-  policy.every_n_updates = 1;
+  policy.audit_every_n_updates = 1;
   Memory mem(seq.capacity, seq.eps_ticks, policy);
   TinySlabConfig c;
   c.eps = eps;
@@ -171,7 +171,7 @@ TEST(TinySlab, SpaceBoundedUnderChurn) {
   const double eps = 1.0 / 16;
   const Sequence seq = tiny_seq(eps, 1500, 7);
   ValidationPolicy policy;
-  policy.every_n_updates = 1;
+  policy.audit_every_n_updates = 1;
   Memory mem(seq.capacity, seq.eps_ticks, policy);
   TinySlabConfig c;
   c.eps = eps;
@@ -209,7 +209,7 @@ TEST(TinySlab, MixedClassesShareUnitsViaBuddySplits) {
     if (i % 8 == 1) t.check_invariants();
   }
   t.check_invariants();
-  mem.validate();
+  mem.audit();
 }
 
 TEST(TinySlab, ReplaceUnitItemsIsIdempotent) {
@@ -247,7 +247,7 @@ TEST_P(TinySweep, InvariantsHold) {
   const auto [eps, seed] = GetParam();
   const Sequence seq = tiny_seq(eps, 700, seed);
   ValidationPolicy policy;
-  policy.every_n_updates = 1;
+  policy.audit_every_n_updates = 1;
   Memory mem(seq.capacity, seq.eps_ticks, policy);
   TinySlabConfig c;
   c.eps = eps;

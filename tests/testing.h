@@ -13,13 +13,13 @@
 
 namespace memreal::testing {
 
-/// A Memory wired for exhaustive validation (every update).
+/// A Memory wired for exhaustive validation: incremental checks plus a
+/// full audit at every update.
 inline Memory strict_memory(Tick capacity, double eps) {
   ValidationPolicy policy;
-  policy.every_n_updates = 1;
-  return Memory(capacity,
-                static_cast<Tick>(eps * static_cast<double>(capacity)),
-                policy);
+  policy.audit_every_n_updates = 1;
+  // Eps::of, not a raw cast: it clamps tiny eps to >= 1 tick.
+  return Memory(capacity, Eps::of(eps, capacity).ticks, policy);
 }
 
 /// Runs `allocator_name` over `seq` with full validation and per-update
@@ -30,7 +30,7 @@ inline RunStats run_with_invariants(const std::string& allocator_name,
                                     double delta = 0.0,
                                     std::size_t check_every = 1) {
   ValidationPolicy policy;
-  policy.every_n_updates = 1;
+  policy.audit_every_n_updates = 1;
   Memory mem(seq.capacity, seq.eps_ticks, policy);
   AllocatorParams params;
   params.eps = seq.eps;
@@ -41,7 +41,7 @@ inline RunStats run_with_invariants(const std::string& allocator_name,
   opts.check_invariants_every = check_every;
   Engine engine(mem, *alloc, opts);
   RunStats stats = engine.run(seq.updates);
-  mem.validate();
+  mem.audit();
   alloc->check_invariants();
   return stats;
 }
