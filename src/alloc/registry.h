@@ -1,5 +1,16 @@
-// A name-keyed factory over all allocators, used by the harness, benches
-// and the allocator_race example.
+// A name-keyed factory over all allocators, used by the harness, benches,
+// the fuzzer and the allocator_race example.
+//
+// Besides construction, the registry carries per-allocator *metadata*
+// (AllocatorInfo): the size regime the allocator guarantees to serve, the
+// eps/delta defaults it is usually run with, and a generous amortized cost
+// budget.  The differential fuzzer enumerates targets through this metadata
+// so that every generated sequence is admissible for every allocator it is
+// replayed against, and so cost blowouts can be flagged without hard-coding
+// per-allocator knowledge outside the registry.
+//
+// Tests may inject additional (deliberately broken) allocators at runtime
+// via register_allocator; built-in names cannot be replaced.
 #pragma once
 
 #include <functional>
@@ -22,13 +33,76 @@ struct AllocatorParams {
 using AllocatorFactory =
     std::function<std::unique_ptr<Allocator>(Memory&, const AllocatorParams&)>;
 
+/// The item-size band an allocator guarantees to serve, as a function of
+/// eps: sizes (as fractions of capacity) in
+///   [lo_factor * eps^lo_pow, hi_factor * eps^hi_pow).
+/// Converted to ticks with a >= 1 clamp, mirroring Eps::of.
+struct SizeProfile {
+  double lo_factor = 1.0;
+  double lo_pow = 1.0;
+  double hi_factor = 2.0;
+  double hi_pow = 1.0;
+  /// DISCRETE-style structured sizes: generators must draw a small fixed
+  /// palette from the band and reuse it, instead of sampling freely.
+  bool fixed_palette = false;
+
+  [[nodiscard]] Tick min_size(double eps, Tick capacity) const;
+  [[nodiscard]] Tick max_size(double eps, Tick capacity) const;
+
+  friend bool operator==(const SizeProfile&, const SizeProfile&) = default;
+};
+
+/// A (deliberately generous) amortized cost ceiling:
+///   ratio_cost <= factor * (1/eps)^pow * max(1, log2(1/eps)).
+/// The fuzzer flags runs that exceed it — the budgets are calibrated with
+/// ample slack above the paper's bounds, so a trip means a blowout, not a
+/// bad constant.
+struct CostBudget {
+  double factor = 8.0;
+  double pow = 0.0;
+
+  [[nodiscard]] double bound(double eps) const;
+};
+
+/// Registry metadata for one allocator: everything the fuzzer needs to
+/// generate admissible workloads and judge the run.
+struct AllocatorInfo {
+  std::string name;
+  SizeProfile sizes;
+  CostBudget budget;
+  double default_eps = 1.0 / 64;
+  double default_delta = 0.0;
+  /// Serves *any* well-formed sequence (the folklore baselines).  Universal
+  /// allocators join every fuzz target group as cross-checking references.
+  bool universal = false;
+  /// Included in memreal_fuzz's default target set.
+  bool fuzz_default = true;
+};
+
 /// Returns the factory for `name`; throws InvariantViolation for unknown
 /// names.  Known names: folklore-compact, folklore-windowed, simple, geo,
-/// tinyslab, flexhash, combined, rsum.
+/// tinyslab, flexhash, combined, rsum, discrete — plus any runtime
+/// registrations.
 [[nodiscard]] AllocatorFactory allocator_factory(const std::string& name);
 
-/// All registered allocator names.
+/// All registered allocator names (built-ins first, then runtime extras in
+/// registration order).
 [[nodiscard]] std::vector<std::string> allocator_names();
+
+/// Metadata for `name`; throws InvariantViolation for unknown names.
+[[nodiscard]] AllocatorInfo allocator_info(const std::string& name);
+
+/// Metadata for every registered allocator, in allocator_names() order.
+[[nodiscard]] std::vector<AllocatorInfo> allocator_infos();
+
+/// Registers a runtime allocator (tests use this to plant broken
+/// allocators as fuzz targets).  Throws if the name is empty or already
+/// registered.
+void register_allocator(AllocatorInfo info, AllocatorFactory factory);
+
+/// Removes a runtime registration; built-ins cannot be removed.  Throws
+/// for unknown or built-in names.
+void unregister_allocator(const std::string& name);
 
 /// Convenience: construct by name.
 [[nodiscard]] std::unique_ptr<Allocator> make_allocator(

@@ -1,0 +1,114 @@
+#include "fuzz/corpus.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/check.h"
+#include "workload/trace.h"
+
+namespace memreal {
+
+namespace fs = std::filesystem;
+
+std::string corpus_file_name(const CorpusEntry& entry) {
+  std::ostringstream os;
+  os << entry.allocator << '-' << entry.kind << "-s" << entry.seed << "-i"
+     << entry.iteration << ".trace";
+  return os.str();
+}
+
+std::string corpus_to_string(const CorpusEntry& entry) {
+  std::ostringstream os;
+  os << "#! allocator=" << entry.allocator << " kind=" << entry.kind
+     << " seed=" << entry.seed << " iteration=" << entry.iteration << "\n";
+  os << trace_to_string(entry.seq);
+  return os.str();
+}
+
+namespace {
+
+std::uint64_t parse_u64(const std::string& value) {
+  // stoull alone would wrap negatives and ignore trailing garbage; require
+  // pure digits so corrupt metadata throws as corpus.h documents.
+  const bool digits =
+      !value.empty() && std::all_of(value.begin(), value.end(), [](char c) {
+        return std::isdigit(static_cast<unsigned char>(c)) != 0;
+      });
+  MEMREAL_CHECK_MSG(digits,
+                    "malformed corpus metadata value '" << value << "'");
+  try {
+    return std::stoull(value);
+  } catch (const std::exception&) {
+    MEMREAL_CHECK_MSG(false,
+                      "corpus metadata value out of range '" << value << "'");
+  }
+}
+
+}  // namespace
+
+CorpusEntry corpus_from_string(const std::string& text) {
+  CorpusEntry entry;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.rfind("#!", 0) != 0) continue;
+    std::istringstream ls(line.substr(2));
+    std::string field;
+    while (ls >> field) {
+      const auto eq = field.find('=');
+      if (eq == std::string::npos) continue;
+      const std::string key = field.substr(0, eq);
+      const std::string value = field.substr(eq + 1);
+      if (key == "allocator") {
+        entry.allocator = value;
+      } else if (key == "kind") {
+        entry.kind = value;
+      } else if (key == "seed") {
+        entry.seed = parse_u64(value);
+      } else if (key == "iteration") {
+        entry.iteration = parse_u64(value);
+      }
+    }
+  }
+  entry.seq = trace_from_string(text);  // '#'-lines are trace comments
+  return entry;
+}
+
+std::string save_corpus_entry(const CorpusEntry& entry,
+                              const std::string& dir) {
+  fs::create_directories(dir);
+  const fs::path path = fs::path(dir) / corpus_file_name(entry);
+  std::ofstream out(path);
+  MEMREAL_CHECK_MSG(out.is_open(),
+                    "cannot open corpus file " << path.string());
+  out << corpus_to_string(entry);
+  out.close();
+  MEMREAL_CHECK_MSG(static_cast<bool>(out),
+                    "write to corpus file " << path.string() << " failed");
+  return path.string();
+}
+
+CorpusEntry load_corpus_entry(const std::string& path) {
+  std::ifstream in(path);
+  MEMREAL_CHECK_MSG(in.is_open(), "cannot open corpus file " << path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return corpus_from_string(buffer.str());
+}
+
+std::vector<std::string> list_corpus(const std::string& dir) {
+  std::vector<std::string> paths;
+  if (!fs::is_directory(dir)) return paths;
+  for (const auto& e : fs::directory_iterator(dir)) {
+    if (e.is_regular_file() && e.path().extension() == ".trace") {
+      paths.push_back(e.path().string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
+}  // namespace memreal

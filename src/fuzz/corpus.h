@@ -1,0 +1,45 @@
+// Corpus persistence: failing (shrunk) sequences as plain trace.h files
+// with a "#!"-prefixed metadata line naming the failing allocator, the
+// failure kind and the (campaign seed, iteration) that produced it.  The
+// metadata line is a trace comment, so every reproducer is also replayable
+// with any trace-consuming tool.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fuzz/differential.h"
+#include "workload/sequence.h"
+
+namespace memreal {
+
+struct CorpusEntry {
+  Sequence seq;
+  std::string allocator;     ///< failing target
+  std::string kind;          ///< to_string(FailureKind)
+  std::uint64_t seed = 0;    ///< campaign seed
+  std::uint64_t iteration = 0;
+};
+
+/// Canonical file name: <allocator>-<kind>-s<seed>-i<iteration>.trace
+[[nodiscard]] std::string corpus_file_name(const CorpusEntry& entry);
+
+/// Serializes entry (metadata line + trace).
+[[nodiscard]] std::string corpus_to_string(const CorpusEntry& entry);
+
+/// Parses a reproducer; throws InvariantViolation on malformed input.
+/// Metadata is optional — a bare trace loads with empty allocator/kind.
+[[nodiscard]] CorpusEntry corpus_from_string(const std::string& text);
+
+/// Writes entry under `dir` (created if missing); returns the full path.
+std::string save_corpus_entry(const CorpusEntry& entry,
+                              const std::string& dir);
+
+/// Loads one reproducer file.
+[[nodiscard]] CorpusEntry load_corpus_entry(const std::string& path);
+
+/// All *.trace files under `dir`, sorted by name ([] when the directory
+/// does not exist).
+[[nodiscard]] std::vector<std::string> list_corpus(const std::string& dir);
+
+}  // namespace memreal

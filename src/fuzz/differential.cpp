@@ -1,0 +1,135 @@
+#include "fuzz/differential.h"
+
+#include <memory>
+#include <sstream>
+
+#include "harness/validated_run.h"
+#include "util/check.h"
+
+namespace memreal {
+
+const char* to_string(FailureKind kind) {
+  switch (kind) {
+    case FailureKind::kInvariantViolation:
+      return "invariant-violation";
+    case FailureKind::kCostBudget:
+      return "cost-budget";
+    case FailureKind::kDivergence:
+      return "divergence";
+  }
+  return "unknown";
+}
+
+std::optional<FailureReport> run_differential(
+    const Sequence& seq, const DifferentialConfig& config) {
+  MEMREAL_CHECK(!config.targets.empty());
+  MEMREAL_CHECK(!seq.updates.empty());
+
+  std::vector<std::unique_ptr<ValidatedCell>> cells;
+  cells.reserve(config.targets.size());
+  for (const FuzzTarget& t : config.targets) {
+    CellConfig cell;
+    cell.allocator = t.allocator;
+    cell.params = t.params;
+    cell.audit_every = config.audit_every;
+    cell.check_invariants_every = config.check_invariants_every;
+    cells.push_back(std::make_unique<ValidatedCell>(seq, cell));
+  }
+
+  // The reference live set replayed from the sequence itself; every target
+  // must agree with it after every update.
+  std::size_t live_count = 0;
+  Tick live_mass = 0;
+
+  for (std::size_t i = 0; i < seq.updates.size(); ++i) {
+    const Update& u = seq.updates[i];
+    if (u.is_insert()) {
+      ++live_count;
+      live_mass += u.size;
+    } else {
+      --live_count;
+      live_mass -= u.size;
+    }
+    for (std::size_t t = 0; t < cells.size(); ++t) {
+      ValidatedCell& cell = *cells[t];
+      double cost = 0.0;
+      try {
+        cost = cell.engine().step(u);
+      } catch (const InvariantViolation& e) {
+        FailureReport r;
+        r.kind = FailureKind::kInvariantViolation;
+        r.allocator = cell.name();
+        r.update_index = i;
+        r.message = e.what();
+        return r;
+      }
+      auto diverged = [&](const std::string& what) {
+        FailureReport r;
+        r.kind = FailureKind::kDivergence;
+        r.allocator = cell.name();
+        r.update_index = i;
+        r.message = what;
+        return r;
+      };
+      if (u.is_insert() && cost < 1.0) {
+        std::ostringstream os;
+        os << "insert of id " << u.id << " moved less than the item's own "
+           << "mass (cost " << cost << " < 1)";
+        return diverged(os.str());
+      }
+      if (cell.memory().item_count() != live_count) {
+        std::ostringstream os;
+        os << "live item count diverged: allocator holds "
+           << cell.memory().item_count() << ", sequence implies "
+           << live_count;
+        return diverged(os.str());
+      }
+      if (cell.memory().live_mass() != live_mass) {
+        std::ostringstream os;
+        os << "live mass diverged: allocator holds "
+           << cell.memory().live_mass() << ", sequence implies " << live_mass;
+        return diverged(os.str());
+      }
+      if (cell.memory().span_end() < live_mass) {
+        std::ostringstream os;
+        os << "span end " << cell.memory().span_end()
+           << " undercuts live mass " << live_mass;
+        return diverged(os.str());
+      }
+    }
+  }
+
+  for (std::size_t t = 0; t < cells.size(); ++t) {
+    ValidatedCell& cell = *cells[t];
+    try {
+      cell.memory().audit();
+      cell.allocator().check_invariants();
+    } catch (const InvariantViolation& e) {
+      FailureReport r;
+      r.kind = FailureKind::kInvariantViolation;
+      r.allocator = cell.name();
+      r.update_index = seq.updates.size();
+      r.message = e.what();
+      return r;
+    }
+    const double observed = cell.engine().stats().ratio_cost();
+    const double bound =
+        config.targets[t].budget.bound(seq.eps) * config.budget_slack;
+    if (observed > bound) {
+      FailureReport r;
+      r.kind = FailureKind::kCostBudget;
+      r.allocator = cell.name();
+      r.update_index = seq.updates.size();
+      r.observed_cost = observed;
+      r.cost_bound = bound;
+      std::ostringstream os;
+      os << "amortized ratio cost " << observed << " exceeds the budget "
+         << bound << " for eps " << seq.eps;
+      r.message = os.str();
+      return r;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace memreal

@@ -1,0 +1,75 @@
+// Differential oracle: drive a group of allocators in lockstep through one
+// well-formed sequence, each against its own validated Memory, and flag
+//
+//   * InvariantViolation — any model/allocator invariant failure
+//     (incremental per-update validation, periodic full audits, allocator
+//     self-checks),
+//   * kCostBudget — amortized ratio cost exceeding the target's registry
+//     CostBudget (times a configurable slack),
+//   * kDivergence — cross-allocator divergence in the accounted cost
+//     invariants: all targets must agree with the replayed sequence on
+//     live item count and live mass after every update, every insert must
+//     move at least the inserted mass (the item's bytes get written), and
+//     span may never undercut live mass.
+//
+// The first failure (in update order, then fixed target order) wins, so a
+// report is deterministic for a given (sequence, target list).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "alloc/registry.h"
+#include "workload/sequence.h"
+
+namespace memreal {
+
+enum class FailureKind : unsigned char {
+  kInvariantViolation,
+  kCostBudget,
+  kDivergence,
+};
+
+[[nodiscard]] const char* to_string(FailureKind kind);
+
+/// One allocator in the lockstep group.
+struct FuzzTarget {
+  std::string allocator;  ///< registry name
+  AllocatorParams params;
+  CostBudget budget;
+};
+
+struct DifferentialConfig {
+  std::vector<FuzzTarget> targets;
+  /// Multiplier on every target's budget bound (raise to silence cost
+  /// findings, drop below 1 to hunt for regressions).
+  double budget_slack = 1.0;
+  /// Periodic full-audit cadence inside each target's Memory.
+  std::size_t audit_every = 64;
+  /// Allocator self-check cadence.
+  std::size_t check_invariants_every = 16;
+};
+
+struct FailureReport {
+  FailureKind kind = FailureKind::kInvariantViolation;
+  std::string allocator;       ///< failing target
+  std::size_t update_index = 0;  ///< failing update (sequence length for
+                                 ///< end-of-run cost findings)
+  std::string message;
+  double observed_cost = 0.0;  ///< ratio cost (cost findings only)
+  double cost_bound = 0.0;
+
+  /// Stable identity of a failure for shrinking: same target, same kind.
+  [[nodiscard]] bool same_bug(const FailureReport& other) const {
+    return kind == other.kind && allocator == other.allocator;
+  }
+};
+
+/// Runs the lockstep differential; returns the first failure, if any.
+/// The sequence must be well-formed (callers generate through
+/// SequenceBuilder / repair_sequence, which guarantee it).
+[[nodiscard]] std::optional<FailureReport> run_differential(
+    const Sequence& seq, const DifferentialConfig& config);
+
+}  // namespace memreal

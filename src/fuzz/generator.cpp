@@ -1,0 +1,74 @@
+#include "fuzz/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace memreal {
+
+Sequence generate_sequence(const GeneratorConfig& config, Rng& rng,
+                           std::string name) {
+  MEMREAL_CHECK(config.updates > 0);
+  const Tick lo = config.sizes.min_size(config.eps, config.capacity);
+  const Tick hi = config.sizes.max_size(config.eps, config.capacity);
+  MEMREAL_CHECK_MSG(lo < hi, "empty size band at eps " << config.eps);
+
+  SequenceBuilder builder(std::move(name), config.capacity, config.eps);
+  MEMREAL_CHECK_MSG(lo <= builder.budget(),
+                    "profile band exceeds the adversary budget");
+
+  std::vector<Tick> palette;
+  if (config.sizes.fixed_palette) {
+    palette.reserve(config.palette);
+    for (std::size_t i = 0; i < config.palette; ++i) {
+      palette.push_back(rng.next_tick_in(lo, hi));
+    }
+  }
+  const bool log_uniform = hi / std::max<Tick>(1, lo) >= 16;
+  auto draw_size = [&]() -> Tick {
+    if (!palette.empty()) {
+      return palette[rng.next_below(palette.size())];
+    }
+    if (log_uniform) {
+      // Wide bands (folklore, mixed tiny+large) are sampled log-uniformly
+      // so small sizes are exercised as often as large ones.
+      const double llo = std::log(static_cast<double>(lo));
+      const double lhi = std::log(static_cast<double>(hi));
+      const auto s = static_cast<Tick>(
+          std::exp(llo + rng.next_double() * (lhi - llo)));
+      return std::clamp(s, lo, hi - 1);
+    }
+    return rng.next_tick_in(lo, hi);
+  };
+
+  // A random fill target below max_load: some sequences stress near-full
+  // memory, others stay sparse.
+  const auto target_mass = static_cast<Tick>(
+      rng.next_double() * config.max_load *
+      static_cast<double>(builder.budget()));
+
+  for (std::size_t n = 0; n < config.updates; ++n) {
+    bool do_insert = true;
+    if (builder.live_count() > 0) {
+      const bool below_target = builder.live_mass() < target_mass;
+      do_insert = rng.next_below(100) < (below_target ? 80 : 45);
+    }
+    if (do_insert) {
+      Tick size = draw_size();
+      if (!builder.can_insert(size)) {
+        if (builder.live_count() > 0) {
+          builder.erase_random(rng);
+          continue;
+        }
+        size = lo;  // live mass is 0 and lo <= budget, so this always fits
+      }
+      builder.insert(size);
+    } else {
+      builder.erase_random(rng);
+    }
+  }
+  return builder.take();
+}
+
+}  // namespace memreal

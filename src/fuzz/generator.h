@@ -1,0 +1,37 @@
+// Random well-formed sequence generation for the differential fuzzer.
+//
+// Unlike the scripted workloads in src/workload/, the fuzz generator is
+// profile-driven: it draws item sizes from a registry SizeProfile so that
+// every generated sequence is admissible for every allocator in the target
+// group, and it randomizes the *shape* of the stream (fill level, churn
+// bias, burst lengths) instead of fixing one regime.  All randomness comes
+// from the caller's Rng, so a sequence is reproducible from its seed alone.
+#pragma once
+
+#include <string>
+
+#include "alloc/registry.h"
+#include "util/rng.h"
+#include "workload/sequence.h"
+
+namespace memreal {
+
+struct GeneratorConfig {
+  Tick capacity = Tick{1} << 40;
+  double eps = 1.0 / 64;
+  SizeProfile sizes;            ///< admissible band for the target group
+  std::size_t updates = 200;    ///< exact length of the generated sequence
+  std::size_t palette = 8;      ///< distinct sizes when sizes.fixed_palette
+  /// Fill toward a random fraction of the budget in [0, max_load] before
+  /// churning; the churn keeps the load wandering below it.
+  double max_load = 0.9;
+};
+
+/// Generates one well-formed sequence of exactly `config.updates` updates
+/// (the last update may be forced to an insert/delete the live set
+/// permits).  Throws InvariantViolation if the profile band is empty at
+/// this (eps, capacity).
+[[nodiscard]] Sequence generate_sequence(const GeneratorConfig& config,
+                                         Rng& rng, std::string name);
+
+}  // namespace memreal

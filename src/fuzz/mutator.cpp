@@ -1,0 +1,112 @@
+#include "fuzz/mutator.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/check.h"
+
+namespace memreal {
+
+namespace {
+
+/// A random [begin, end) slice of up to a quarter of the updates.
+std::pair<std::size_t, std::size_t> random_slice(std::size_t n, Rng& rng) {
+  const std::size_t len =
+      1 + rng.next_below(std::max<std::size_t>(1, n / 4));
+  const std::size_t begin = rng.next_below(n - std::min(len, n) + 1);
+  return {begin, std::min(begin + len, n)};
+}
+
+void drop_slice(std::vector<Update>& u, Rng& rng) {
+  const auto [b, e] = random_slice(u.size(), rng);
+  u.erase(u.begin() + static_cast<std::ptrdiff_t>(b),
+          u.begin() + static_cast<std::ptrdiff_t>(e));
+}
+
+/// Re-inserts a copy of a slice at a random position, remapping its ids
+/// above every id used in the sequence so the copy stays well-formed.
+void duplicate_slice(std::vector<Update>& u, Rng& rng) {
+  const auto [b, e] = random_slice(u.size(), rng);
+  ItemId max_id = 0;
+  for (const Update& up : u) max_id = std::max(max_id, up.id);
+  std::unordered_map<ItemId, ItemId> remap;
+  std::vector<Update> copy;
+  copy.reserve(e - b);
+  for (std::size_t i = b; i < e; ++i) {
+    Update up = u[i];
+    auto [it, fresh] = remap.try_emplace(up.id, max_id + 1 + remap.size());
+    (void)fresh;
+    up.id = it->second;
+    copy.push_back(up);
+  }
+  const std::size_t at = rng.next_below(u.size() + 1);
+  u.insert(u.begin() + static_cast<std::ptrdiff_t>(at), copy.begin(),
+           copy.end());
+}
+
+void resize_item(std::vector<Update>& u, const MutatorConfig& c, Tick cap,
+                 Rng& rng) {
+  const Update& pick = u[rng.next_below(u.size())];
+  const Tick lo = c.sizes.min_size(c.eps, cap);
+  const Tick hi = c.sizes.max_size(c.eps, cap);
+  const Tick size = rng.next_tick_in(lo, hi);
+  for (Update& up : u) {
+    if (up.id == pick.id) up.size = size;
+  }
+}
+
+void swap_updates(std::vector<Update>& u, Rng& rng) {
+  const std::size_t a = rng.next_below(u.size());
+  const std::size_t b = rng.next_below(u.size());
+  std::swap(u[a], u[b]);
+}
+
+void rotate_slice(std::vector<Update>& u, Rng& rng) {
+  const auto [b, e] = random_slice(u.size(), rng);
+  if (e - b < 2) return;
+  std::rotate(u.begin() + static_cast<std::ptrdiff_t>(b),
+              u.begin() + static_cast<std::ptrdiff_t>(b + 1),
+              u.begin() + static_cast<std::ptrdiff_t>(e));
+}
+
+void truncate_tail(std::vector<Update>& u, Rng& rng) {
+  const std::size_t keep = 1 + rng.next_below(u.size());
+  u.resize(keep);
+}
+
+}  // namespace
+
+Sequence mutate_sequence(const Sequence& seq, const MutatorConfig& config,
+                         Rng& rng) {
+  MEMREAL_CHECK(!seq.updates.empty());
+  MEMREAL_CHECK(config.max_edits >= 1);
+  std::vector<Update> updates = seq.updates;
+  const std::size_t edits = 1 + rng.next_below(config.max_edits);
+  for (std::size_t i = 0; i < edits && !updates.empty(); ++i) {
+    switch (rng.next_below(6)) {
+      case 0:
+        drop_slice(updates, rng);
+        break;
+      case 1:
+        duplicate_slice(updates, rng);
+        break;
+      case 2:
+        resize_item(updates, config, seq.capacity, rng);
+        break;
+      case 3:
+        swap_updates(updates, rng);
+        break;
+      case 4:
+        rotate_slice(updates, rng);
+        break;
+      default:
+        truncate_tail(updates, rng);
+        break;
+    }
+  }
+  Sequence mutant = repair_sequence(seq, std::move(updates));
+  if (mutant.updates.empty()) return seq;  // every edit cancelled out
+  return mutant;
+}
+
+}  // namespace memreal

@@ -1,0 +1,27 @@
+// Mutational stage of the fuzzer: structural edits over an existing
+// sequence, repaired back to well-formedness through the workload layer's
+// repair_sequence hook.  Mutants explore stream shapes the generator's
+// fill/churn process never produces (bursty deletes, duplicated segments,
+// reordered prefixes, size drift within the admissible band).
+#pragma once
+
+#include "alloc/registry.h"
+#include "util/rng.h"
+#include "workload/sequence.h"
+
+namespace memreal {
+
+struct MutatorConfig {
+  double eps = 1.0 / 64;
+  SizeProfile sizes;        ///< sizes stay inside this band
+  std::size_t max_edits = 3;  ///< 1..max_edits edits per mutant
+};
+
+/// Produces a well-formed mutant of `seq` (possibly equal to it when every
+/// edit lands on a no-op).  Edits: drop a slice, duplicate a slice with
+/// fresh ids, resize an item within the band, swap two updates, rotate a
+/// slice, truncate the tail.
+[[nodiscard]] Sequence mutate_sequence(const Sequence& seq,
+                                       const MutatorConfig& config, Rng& rng);
+
+}  // namespace memreal

@@ -1,0 +1,89 @@
+#include "fuzz/shrinker.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "util/check.h"
+
+namespace memreal {
+
+namespace {
+
+/// Sizes of the items inserted in `seq`, in first-appearance order.
+std::vector<std::pair<ItemId, Tick>> inserted_items(const Sequence& seq) {
+  std::vector<std::pair<ItemId, Tick>> items;
+  for (const Update& u : seq.updates) {
+    if (u.is_insert()) items.emplace_back(u.id, u.size);
+  }
+  return items;
+}
+
+}  // namespace
+
+ShrinkResult shrink_sequence(const Sequence& seq, const FailurePredicate& fails,
+                             const ShrinkConfig& config) {
+  MEMREAL_CHECK(config.min_size >= 1);
+  MEMREAL_CHECK_MSG(fails(seq),
+                    "shrink_sequence: predicate does not hold on the input");
+  ShrinkResult result;
+  result.seq = seq;
+  result.checks = 1;
+  Sequence& cur = result.seq;
+
+  auto out_of_budget = [&] { return result.checks >= config.max_checks; };
+  auto check = [&](const Sequence& cand) {
+    if (cand.updates.empty() || out_of_budget()) return false;
+    ++result.checks;
+    return fails(cand);
+  };
+
+  bool improved = true;
+  while (improved && !out_of_budget()) {
+    improved = false;
+
+    // Phase 1: ddmin chunk removal, chunk halving from n/2 down to 1.
+    // subsequence() repairs each candidate (deletes of removed inserts are
+    // dropped with them), so any chunk is a legal removal attempt.
+    for (std::size_t chunk = std::max<std::size_t>(1, cur.size() / 2);;
+         chunk /= 2) {
+      std::size_t start = 0;
+      while (start < cur.size() && !out_of_budget()) {
+        std::vector<bool> keep(cur.size(), true);
+        const std::size_t end = std::min(cur.size(), start + chunk);
+        for (std::size_t i = start; i < end; ++i) keep[i] = false;
+        Sequence cand = subsequence(cur, keep);
+        if (cand.size() < cur.size() && check(cand)) {
+          cur = std::move(cand);
+          improved = true;  // retry the same start against the shorter tail
+        } else {
+          start += chunk;
+        }
+      }
+      if (chunk == 1) break;
+    }
+
+    // Phase 2: per-item size reduction toward the floor — most aggressive
+    // candidate (the floor itself) first, then backing off halfway toward
+    // the current size.  Sizes only shrink, so repair never drops updates.
+    for (const auto& [id, size] : inserted_items(cur)) {
+      if (out_of_budget()) break;
+      Tick target = config.min_size;
+      while (target < size && !out_of_budget()) {
+        Sequence cand = with_sizes(cur, {{id, target}});
+        if (check(cand)) {
+          cur = std::move(cand);
+          improved = true;
+          break;
+        }
+        const Tick gap = size - target;
+        if (gap <= 1) break;
+        target += (gap + 1) / 2;
+      }
+    }
+  }
+  result.minimal = !improved && !out_of_budget();
+  return result;
+}
+
+}  // namespace memreal

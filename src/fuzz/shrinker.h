@@ -1,0 +1,39 @@
+// Delta-debugging trace minimizer.  Given a failing sequence and a
+// predicate that re-checks the failure, shrink by (a) ddmin-style chunk
+// removal over the update stream and (b) per-item size reduction toward a
+// profile floor — each candidate repaired back to well-formedness through
+// the workload layer's subsequence/with_sizes hooks before re-checking.
+#pragma once
+
+#include <functional>
+
+#include "workload/sequence.h"
+
+namespace memreal {
+
+/// Returns true iff the candidate still exhibits the failure being
+/// minimized (callers typically re-run the differential oracle and compare
+/// FailureReport::same_bug).  Must be deterministic.
+using FailurePredicate = std::function<bool(const Sequence&)>;
+
+struct ShrinkConfig {
+  /// Sizes are never reduced below this floor (keep shrunk reproducers
+  /// inside the target's admissible band).
+  Tick min_size = 1;
+  /// Ceiling on predicate evaluations; shrinking stops when exhausted.
+  std::size_t max_checks = 2000;
+};
+
+struct ShrinkResult {
+  Sequence seq;
+  std::size_t checks = 0;     ///< predicate evaluations spent
+  bool minimal = false;       ///< reached a fixpoint before max_checks
+};
+
+/// Minimizes `seq` while `fails` keeps returning true.  `fails(seq)` must
+/// be true on entry; the result also satisfies it.
+[[nodiscard]] ShrinkResult shrink_sequence(const Sequence& seq,
+                                           const FailurePredicate& fails,
+                                           const ShrinkConfig& config = {});
+
+}  // namespace memreal

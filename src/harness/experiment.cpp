@@ -3,7 +3,7 @@
 #include <cmath>
 #include <mutex>
 
-#include "core/engine.h"
+#include "harness/validated_run.h"
 #include "util/check.h"
 #include "util/parallel.h"
 #include "util/stats.h"
@@ -25,20 +25,15 @@ struct CellOut {
 CellOut run_cell(const ExperimentConfig& c, double eps, std::uint64_t seed) {
   Sequence seq = c.make_sequence(eps, seed);
   MEMREAL_CHECK(!seq.updates.empty());
-  ValidationPolicy policy;
-  policy.incremental = c.incremental_validation;
-  policy.audit_every_n_updates = c.audit_every;
-  Memory mem(seq.capacity, seq.eps_ticks, policy);
-  AllocatorParams params;
-  params.eps = eps;
-  params.delta = c.delta;
-  params.seed = seed * 0x9E3779B97F4A7C15ULL + 1;
-  auto alloc = make_allocator(c.allocator, mem, params);
-  EngineOptions opts;
-  opts.check_invariants_every = c.check_invariants_every;
-  Engine engine(mem, *alloc, opts);
-  RunStats stats = engine.run(seq.updates);
-  mem.audit();
+  CellConfig cell;
+  cell.allocator = c.allocator;
+  cell.params.eps = eps;
+  cell.params.delta = c.delta;
+  cell.params.seed = seed * 0x9E3779B97F4A7C15ULL + 1;
+  cell.incremental_validation = c.incremental_validation;
+  cell.audit_every = c.audit_every;
+  cell.check_invariants_every = c.check_invariants_every;
+  RunStats stats = run_validated(seq, cell);
 
   CellOut out;
   out.mean_cost = stats.mean_cost();

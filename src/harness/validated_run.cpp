@@ -1,0 +1,36 @@
+#include "harness/validated_run.h"
+
+namespace memreal {
+
+namespace {
+
+ValidationPolicy cell_policy(const CellConfig& config) {
+  ValidationPolicy policy;
+  policy.incremental = config.incremental_validation;
+  policy.audit_every_n_updates = config.audit_every;
+  return policy;
+}
+
+EngineOptions cell_options(const CellConfig& config) {
+  EngineOptions options;
+  options.check_invariants_every = config.check_invariants_every;
+  return options;
+}
+
+}  // namespace
+
+ValidatedCell::ValidatedCell(const Sequence& seq, const CellConfig& config)
+    : name_(config.allocator),
+      memory_(seq.capacity, seq.eps_ticks, cell_policy(config)),
+      allocator_(make_allocator(config.allocator, memory_, config.params)),
+      engine_(memory_, *allocator_, cell_options(config)) {}
+
+RunStats run_validated(const Sequence& seq, const CellConfig& config) {
+  ValidatedCell cell(seq, config);
+  RunStats stats = cell.engine().run(seq.updates);
+  cell.memory().audit();
+  cell.allocator().check_invariants();
+  return stats;
+}
+
+}  // namespace memreal

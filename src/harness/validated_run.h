@@ -1,0 +1,57 @@
+// One validated run cell: Memory + Allocator + Engine wired together with
+// the standard validation policy.  Shared by the experiment grid
+// (harness/experiment.cpp), the differential fuzzer (fuzz/differential.cpp)
+// and ad-hoc drivers, so the cell wiring (policy knobs, param plumbing,
+// construction order) lives in exactly one place.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "alloc/registry.h"
+#include "core/engine.h"
+#include "mem/memory.h"
+#include "workload/sequence.h"
+
+namespace memreal {
+
+struct CellConfig {
+  std::string allocator;  ///< registry name
+  AllocatorParams params;
+  /// Incremental O(log n) model validation at every update.
+  bool incremental_validation = true;
+  /// Full O(n) audit cadence; 0 = explicit-only.
+  std::size_t audit_every = 0;
+  /// Allocator self-check cadence; 0 = never.
+  std::size_t check_invariants_every = 0;
+};
+
+/// A constructed (Memory, Allocator, Engine) triple for one sequence.
+/// Non-movable: the allocator and engine hold references into the memory
+/// member, so the cell must stay put (heap-allocate to store in containers).
+class ValidatedCell {
+ public:
+  ValidatedCell(const Sequence& seq, const CellConfig& config);
+
+  ValidatedCell(const ValidatedCell&) = delete;
+  ValidatedCell& operator=(const ValidatedCell&) = delete;
+
+  [[nodiscard]] Memory& memory() { return memory_; }
+  [[nodiscard]] Allocator& allocator() { return *allocator_; }
+  [[nodiscard]] Engine& engine() { return engine_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  Memory memory_;
+  std::unique_ptr<Allocator> allocator_;
+  Engine engine_;
+};
+
+/// Runs the whole sequence through a fresh cell: engine run, final full
+/// audit, final allocator self-check.  Throws InvariantViolation on any
+/// model or allocator invariant failure.
+[[nodiscard]] RunStats run_validated(const Sequence& seq,
+                                     const CellConfig& config);
+
+}  // namespace memreal

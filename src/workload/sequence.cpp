@@ -84,4 +84,56 @@ Sequence SequenceBuilder::take() {
   return out;
 }
 
+Sequence repair_sequence(const Sequence& base, std::vector<Update> updates) {
+  MEMREAL_CHECK(base.capacity > 0);
+  MEMREAL_CHECK(base.eps_ticks < base.capacity);
+  Sequence out;
+  out.name = base.name;
+  out.capacity = base.capacity;
+  out.eps = base.eps;
+  out.eps_ticks = base.eps_ticks;
+  out.updates.reserve(updates.size());
+  const Tick budget = base.capacity - base.eps_ticks;
+  std::unordered_map<ItemId, Tick> live;
+  Tick mass = 0;
+  for (Update& u : updates) {
+    if (u.is_insert()) {
+      if (u.size == 0 || u.size > budget - mass) continue;
+      if (!live.emplace(u.id, u.size).second) continue;
+      mass += u.size;
+      out.updates.push_back(u);
+    } else {
+      const auto it = live.find(u.id);
+      if (it == live.end()) continue;
+      u.size = it->second;  // rewrite stale delete sizes
+      mass -= it->second;
+      live.erase(it);
+      out.updates.push_back(u);
+    }
+  }
+  return out;
+}
+
+Sequence subsequence(const Sequence& base, const std::vector<bool>& keep) {
+  MEMREAL_CHECK(keep.size() == base.size());
+  std::vector<Update> kept;
+  kept.reserve(base.size());
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    if (keep[i]) kept.push_back(base.updates[i]);
+  }
+  return repair_sequence(base, std::move(kept));
+}
+
+Sequence with_sizes(const Sequence& base,
+                    const std::unordered_map<ItemId, Tick>& new_sizes) {
+  std::vector<Update> resized = base.updates;
+  for (Update& u : resized) {
+    const auto it = new_sizes.find(u.id);
+    if (it == new_sizes.end()) continue;
+    MEMREAL_CHECK_MSG(it->second > 0, "with_sizes: size must be positive");
+    u.size = it->second;
+  }
+  return repair_sequence(base, std::move(resized));
+}
+
 }  // namespace memreal

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/update.h"
@@ -77,5 +78,35 @@ class SequenceBuilder {
   Tick capacity_;
   Tick eps_ticks_;
 };
+
+// -- Mutation hooks ---------------------------------------------------------
+//
+// The fuzzer's mutator and shrinker edit update streams freely (dropping
+// chunks, resizing items, splicing segments) and then *repair* the result
+// back into a well-formed sequence instead of rejecting it.  Repair replays
+// the edited stream against a virtual live set with SequenceBuilder's
+// semantics and drops every update that no longer applies.  The repair is
+// deterministic, idempotent, and its output always passes
+// Sequence::check_well_formed().
+
+/// Rebuilds a well-formed sequence from an arbitrarily edited update list:
+/// drops inserts with non-positive size, inserts of an already-live id and
+/// inserts that would break the load-factor promise; drops deletes of
+/// absent ids and rewrites delete sizes to the live item's size.  Header
+/// fields (name, capacity, eps) are taken from `base`.
+[[nodiscard]] Sequence repair_sequence(const Sequence& base,
+                                       std::vector<Update> updates);
+
+/// Keeps only the updates with keep[i] true, then repairs well-formedness
+/// (deletes whose insert was dropped are dropped too).  keep.size() must
+/// equal base.size().
+[[nodiscard]] Sequence subsequence(const Sequence& base,
+                                   const std::vector<bool>& keep);
+
+/// Rewrites the size of every update touching an id in `new_sizes`, then
+/// repairs well-formedness (resized inserts that overflow the promise are
+/// dropped along with their deletes).  Sizes of 0 are rejected.
+[[nodiscard]] Sequence with_sizes(
+    const Sequence& base, const std::unordered_map<ItemId, Tick>& new_sizes);
 
 }  // namespace memreal

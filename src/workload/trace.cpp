@@ -1,8 +1,11 @@
 #include "workload/trace.h"
 
+#include <iomanip>
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <sstream>
+#include <unordered_map>
 
 #include "util/check.h"
 
@@ -10,38 +13,104 @@ namespace memreal {
 
 void write_trace(const Sequence& seq, std::ostream& os) {
   os << "# memreal trace: " << seq.name << "\n";
-  os << "H " << seq.capacity << ' ' << seq.eps << ' ' << seq.name << "\n";
+  // max_digits10 keeps eps byte-exact across a write/read round-trip.
+  os << "H " << seq.capacity << ' '
+     << std::setprecision(std::numeric_limits<double>::max_digits10)
+     << seq.eps << ' ' << seq.name << "\n";
   for (const Update& u : seq.updates) {
     os << (u.is_insert() ? 'I' : 'D') << ' ' << u.id << ' ' << u.size << "\n";
   }
 }
 
+namespace {
+
+/// Rejects any non-whitespace left on the line after the parsed fields.
+void check_line_consumed(std::istringstream& ls, const std::string& line,
+                         std::size_t lineno) {
+  ls >> std::ws;
+  MEMREAL_CHECK_MSG(ls.eof(),
+                    "trailing garbage on trace line " << lineno << ": "
+                                                      << line);
+}
+
+}  // namespace
+
 Sequence read_trace(std::istream& is) {
   Sequence seq;
   bool have_header = false;
+  std::unordered_map<ItemId, Tick> live;
+  Tick mass = 0;
   std::string line;
+  std::size_t lineno = 0;
   while (std::getline(is, line)) {
+    ++lineno;
     if (line.empty() || line[0] == '#') continue;
     std::istringstream ls(line);
     char tag = 0;
     ls >> tag;
     if (tag == 'H') {
-      ls >> seq.capacity >> seq.eps >> seq.name;
-      MEMREAL_CHECK_MSG(static_cast<bool>(ls), "malformed trace header");
+      MEMREAL_CHECK_MSG(!have_header,
+                        "duplicate trace header at line " << lineno);
+      ls >> seq.capacity >> seq.eps;
+      MEMREAL_CHECK_MSG(static_cast<bool>(ls),
+                        "malformed trace header at line " << lineno << ": "
+                                                          << line);
+      // The name is the rest of the line (it may contain spaces — exactly
+      // what write_trace emits), minus the separating whitespace.
+      ls >> std::ws;
+      std::getline(ls, seq.name);
+      MEMREAL_CHECK_MSG(!seq.name.empty(),
+                        "trace header missing sequence name at line "
+                            << lineno);
+      MEMREAL_CHECK_MSG(seq.capacity > 0,
+                        "trace header has zero capacity at line " << lineno);
+      MEMREAL_CHECK_MSG(seq.eps > 0.0 && seq.eps < 1.0,
+                        "trace header eps outside (0, 1) at line " << lineno);
       seq.eps_ticks =
           static_cast<Tick>(seq.eps * static_cast<double>(seq.capacity));
+      // Downstream consumers (Memory, SequenceBuilder) reject eps_ticks ==
+      // 0; fail here with the line instead of deep inside a replay.
+      MEMREAL_CHECK_MSG(seq.eps_ticks > 0,
+                        "trace header eps truncates to zero ticks at line "
+                            << lineno);
       have_header = true;
     } else if (tag == 'I' || tag == 'D') {
-      MEMREAL_CHECK_MSG(have_header, "trace line before header");
+      MEMREAL_CHECK_MSG(have_header,
+                        "trace line " << lineno << " before header");
       ItemId id = 0;
       Tick size = 0;
       ls >> id >> size;
-      MEMREAL_CHECK_MSG(static_cast<bool>(ls),
-                        "malformed trace line: " << line);
-      seq.updates.push_back(tag == 'I' ? Update::insert(id, size)
-                                       : Update::erase(id, size));
+      MEMREAL_CHECK_MSG(static_cast<bool>(ls), "malformed trace line "
+                                                   << lineno << ": " << line);
+      check_line_consumed(ls, line, lineno);
+      MEMREAL_CHECK_MSG(size > 0,
+                        "zero-size item " << id << " at line " << lineno);
+      if (tag == 'I') {
+        MEMREAL_CHECK_MSG(live.emplace(id, size).second,
+                          "duplicate live id " << id << " at line " << lineno);
+        // Overflow-safe form of mass + size + eps_ticks <= capacity (a
+        // corrupt trace may carry sizes near 2^64).
+        MEMREAL_CHECK_MSG(
+            size <= seq.capacity - seq.eps_ticks - mass,
+            "insert of id " << id << " at line " << lineno
+                            << " breaks the load-factor promise");
+        mass += size;
+        seq.updates.push_back(Update::insert(id, size));
+      } else {
+        const auto it = live.find(id);
+        MEMREAL_CHECK_MSG(it != live.end(), "delete of absent id "
+                                                << id << " at line " << lineno);
+        MEMREAL_CHECK_MSG(it->second == size,
+                          "delete size mismatch for id "
+                              << id << " at line " << lineno << " (live "
+                              << it->second << ", trace " << size << ")");
+        mass -= it->second;
+        live.erase(it);
+        seq.updates.push_back(Update::erase(id, size));
+      }
     } else {
-      MEMREAL_CHECK_MSG(false, "unknown trace tag '" << tag << "'");
+      MEMREAL_CHECK_MSG(false, "unknown trace tag '" << tag << "' at line "
+                                                     << lineno);
     }
   }
   MEMREAL_CHECK_MSG(have_header, "trace without header");

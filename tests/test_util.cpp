@@ -5,9 +5,12 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <mutex>
 #include <set>
+#include <string>
 #include <vector>
 
+#include "fuzz/fuzzer.h"
 #include "util/check.h"
 #include "util/fit.h"
 #include "util/parallel.h"
@@ -329,6 +332,79 @@ TEST(Parallel, PoolPropagatesException) {
 
 TEST(Parallel, ZeroItemsIsNoop) {
   parallel_for(0, [&](std::size_t) { FAIL(); });
+}
+
+TEST(Parallel, PoolFirstErrorWins) {
+  // One worker serializes execution; whichever failing task *runs* first
+  // is the one wait() must rethrow (later errors are dropped).
+  ThreadPool pool(1);
+  std::mutex mu;
+  std::vector<std::string> raised;
+  for (const char* name : {"alpha", "beta", "gamma"}) {
+    pool.submit([&mu, &raised, name] {
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        raised.emplace_back(name);
+      }
+      throw std::runtime_error(name);
+    });
+  }
+  try {
+    pool.wait();
+    FAIL() << "wait() must rethrow";
+  } catch (const std::runtime_error& e) {
+    ASSERT_FALSE(raised.empty());
+    EXPECT_EQ(std::string(e.what()), raised.front());
+  }
+}
+
+TEST(Parallel, PoolIsReusableAfterFailure) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+  // The error is consumed: the pool keeps running tasks and the next
+  // wait() is clean.
+  std::atomic<int> sum{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&] { sum.fetch_add(1); });
+  }
+  EXPECT_NO_THROW(pool.wait());
+  EXPECT_EQ(sum.load(), 50);
+  EXPECT_NO_THROW(pool.wait());  // idle wait is a no-op
+}
+
+TEST(Parallel, PoolSurvivesFailuresAcrossManyTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&ran, i] {
+      ran.fetch_add(1);
+      if (i % 10 == 3) throw std::runtime_error("sporadic");
+    });
+  }
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+  // Failing tasks never wedge the queue: everything ran exactly once.
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(Parallel, PerIndexSeedingIsThreadCountInvariant) {
+  // The fuzzer's reproducibility contract: work derived purely from the
+  // loop index is identical no matter how the indices are scheduled.
+  auto run = [](std::size_t threads) {
+    std::vector<std::uint64_t> out(200);
+    parallel_for(
+        out.size(),
+        [&](std::size_t i) {
+          Rng rng(iteration_seed(99, i));
+          out[i] = rng.next_u64();
+        },
+        threads);
+    return out;
+  };
+  const auto serial = run(1);
+  EXPECT_EQ(serial, run(2));
+  EXPECT_EQ(serial, run(7));
+  EXPECT_EQ(serial, run(0));  // all cores
 }
 
 // -- table ---------------------------------------------------------------

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <iterator>
+#include <string>
 #include <unordered_map>
 
 #include "util/check.h"
@@ -278,6 +280,147 @@ TEST(Trace, RoundTrip) {
 TEST(Trace, RejectsGarbage) {
   EXPECT_THROW(trace_from_string("X 1 2\n"), InvariantViolation);
   EXPECT_THROW(trace_from_string("I 1 2\n"), InvariantViolation);  // no header
+}
+
+TEST(Trace, RoundTripIsIdentityOverRandomBuilderOutputs) {
+  // Property: read_trace(write_trace(seq)) == seq for arbitrary
+  // well-formed SequenceBuilder outputs, across seeds, eps values (exactly
+  // representable and not) and live-set shapes.
+  const double eps_values[] = {0.5, 1.0 / 16, 1.0 / 3, 0.0078125, 1e-4};
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    Rng rng(seed);
+    const double eps = eps_values[seed % std::size(eps_values)];
+    SequenceBuilder b("prop-trace-" + std::to_string(seed), kCap, eps);
+    for (int i = 0; i < 200; ++i) {
+      const Tick size = 1 + rng.next_below(kCap / 128);
+      if (b.live_count() > 0 &&
+          (!b.can_insert(size) || rng.next_below(3) == 0)) {
+        b.erase_random(rng);
+      } else if (b.can_insert(size)) {
+        b.insert(size);
+      }
+    }
+    const Sequence s = b.take();
+    ASSERT_FALSE(s.updates.empty());
+    const Sequence t = trace_from_string(trace_to_string(s));
+    EXPECT_EQ(s.updates, t.updates);
+    EXPECT_EQ(s.capacity, t.capacity);
+    EXPECT_EQ(s.name, t.name);
+    // Byte-exact eps (write_trace emits max_digits10), so a second
+    // round-trip is byte-identical too.
+    EXPECT_EQ(s.eps, t.eps);
+    EXPECT_EQ(trace_to_string(s), trace_to_string(t));
+  }
+}
+
+TEST(Trace, CommentsAndBlankLinesAreSkipped) {
+  const Sequence s = trace_from_string(
+      "# leading comment\n"
+      "\n"
+      "H 1000 0.1 commented\n"
+      "# interleaved\n"
+      "I 1 10\n"
+      "\n"
+      "D 1 10\n"
+      "# trailing\n");
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.name, "commented");
+  EXPECT_EQ(s.eps_ticks, 100u);
+}
+
+TEST(Trace, AllowsIdReuseAfterDelete) {
+  const Sequence s =
+      trace_from_string("H 1000 0.1 reuse\nI 1 10\nD 1 10\nI 1 20\n");
+  EXPECT_EQ(s.size(), 3u);
+  s.check_well_formed();
+}
+
+/// The corrupt-corpus rejection matrix: each bad input must throw and the
+/// error must name the offending line.
+void expect_trace_error(const std::string& text, const std::string& needle) {
+  try {
+    (void)trace_from_string(text);
+    FAIL() << "accepted corrupt trace: " << text;
+  } catch (const InvariantViolation& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "error '" << e.what() << "' does not mention '" << needle << "'";
+  }
+}
+
+TEST(Trace, RejectsDuplicateLiveIdWithLineNumber) {
+  expect_trace_error("H 1000 0.1 t\nI 1 10\nI 1 10\n",
+                     "duplicate live id 1 at line 3");
+}
+
+TEST(Trace, RejectsDeleteOfAbsentIdWithLineNumber) {
+  expect_trace_error("H 1000 0.1 t\nI 1 10\nD 2 10\n",
+                     "absent id 2 at line 3");
+}
+
+TEST(Trace, RejectsDeleteSizeMismatchWithLineNumber) {
+  expect_trace_error("H 1000 0.1 t\nI 1 10\nD 1 11\n",
+                     "size mismatch for id 1 at line 3");
+}
+
+TEST(Trace, RejectsTrailingGarbageWithLineNumber) {
+  expect_trace_error("H 1000 0.1 t\nI 1 10 junk\n", "line 2");
+}
+
+TEST(Trace, HeaderNameMayContainSpacesAndRoundTrips) {
+  // write_trace emits the name unescaped, so the reader must take the
+  // rest of the header line as the name.
+  Sequence s;
+  s.name = "spaced out name";
+  s.capacity = 1000;
+  s.eps = 0.1;
+  s.eps_ticks = 100;
+  s.updates = {Update::insert(1, 10)};
+  const Sequence t = trace_from_string(trace_to_string(s));
+  EXPECT_EQ(t.name, "spaced out name");
+  EXPECT_EQ(t.updates, s.updates);
+}
+
+TEST(Trace, RejectsHeaderWithoutName) {
+  expect_trace_error("H 1000 0.1\nI 1 10\n",
+                     "missing sequence name at line 1");
+}
+
+TEST(Trace, RejectsMalformedFieldsWithLineNumber) {
+  expect_trace_error("H 1000 0.1 t\nI one 10\n", "line 2");
+  expect_trace_error("H 1000 0.1 t\nI 1\n", "line 2");
+  expect_trace_error("H zero 0.1 t\n", "line 1");
+}
+
+TEST(Trace, RejectsDuplicateHeaderWithLineNumber) {
+  expect_trace_error("H 1000 0.1 t\nH 1000 0.1 t\n",
+                     "duplicate trace header at line 2");
+}
+
+TEST(Trace, RejectsZeroSizeWithLineNumber) {
+  expect_trace_error("H 1000 0.1 t\nI 1 0\n", "zero-size item 1 at line 2");
+}
+
+TEST(Trace, RejectsPromiseViolationWithLineNumber) {
+  expect_trace_error("H 1000 0.1 t\nI 1 500\nI 2 500\n",
+                     "breaks the load-factor promise");
+  // Sizes near 2^64 must not wrap the mass accounting.
+  expect_trace_error("H 1000 0.1 t\nI 1 18446744073709551615\n",
+                     "breaks the load-factor promise");
+}
+
+TEST(Trace, RejectsBadHeaderValues) {
+  expect_trace_error("H 0 0.1 t\nI 1 10\n", "zero capacity");
+  expect_trace_error("H 1000 1.5 t\nI 1 10\n", "eps outside (0, 1)");
+  expect_trace_error("H 1000 0 t\nI 1 10\n", "eps outside (0, 1)");
+  // eps > 0 but below one tick of this capacity: every downstream consumer
+  // rejects eps_ticks == 0, so the reader must too — naming the line.
+  expect_trace_error("H 1000 0.0001 t\nI 1 10\n",
+                     "truncates to zero ticks at line 1");
+}
+
+TEST(Trace, UnknownTagNamesLine) {
+  expect_trace_error("H 1000 0.1 t\nQ 1 10\n",
+                     "unknown trace tag 'Q' at line 2");
 }
 
 }  // namespace
