@@ -12,12 +12,15 @@
 #include <cmath>
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
 
 #include "core/engine.h"
 #include "harness/experiment.h"
 #include "harness/sweep.h"
+#include "util/json.h"
 #include "util/table.h"
 
 namespace memreal::bench {
@@ -26,6 +29,44 @@ inline bool fast_mode() {
   const char* v = std::getenv("MEMREAL_FAST");
   return v != nullptr && v[0] == '1';
 }
+
+/// Machine-readable companion to the printed tables: a bench collects one
+/// JSON record per measured configuration and writes BENCH_<name>.json
+/// (CI uploads these as artifacts — the perf trajectory across PRs).
+/// MEMREAL_BENCH_DIR overrides the output directory (default: cwd).
+class BenchJson {
+ public:
+  explicit BenchJson(std::string bench) : bench_(std::move(bench)) {}
+
+  void add(Json record) { records_.push(std::move(record)); }
+
+  /// Writes the artifact and prints its path; returns the path.
+  std::string write() const {
+    const char* dir = std::getenv("MEMREAL_BENCH_DIR");
+    std::string path = (dir != nullptr && dir[0] != '\0')
+                           ? std::string(dir) + "/"
+                           : std::string();
+    path += "BENCH_" + bench_ + ".json";
+    Json doc = Json::object();
+    doc.set("bench", bench_).set("schema", std::uint64_t{1});
+    doc.set("fast_mode", fast_mode());
+    doc.set("records", records_);
+    std::ofstream out(path);
+    out << doc.dump(2) << "\n";
+    out.flush();
+    if (!out) {
+      std::cerr << "BenchJson: FAILED to write " << path << "\n";
+      return "";
+    }
+    std::cout << "wrote " << path << " (" << records_.size()
+              << " records)\n";
+    return path;
+  }
+
+ private:
+  std::string bench_;
+  Json records_ = Json::array();
+};
 
 inline void print_header(const std::string& id, const std::string& claim) {
   std::cout << "\n==================================================\n"

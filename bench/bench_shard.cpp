@@ -1,0 +1,181 @@
+// Sharded-engine scaling experiment: updates/sec of a fully validated
+// sharded run as a function of (shards, threads).
+//
+// Two sweeps on a uniform churn workload (sizes in the allocator's
+// registered band of the shard capacity):
+//   T-SHARD-S — shard scaling at all cores: S = 1, 2, 4, 8 (16 when not
+//               MEMREAL_FAST).  More cells mean smaller per-cell layouts
+//               and more parallel lanes; updates/sec should grow until
+//               the core count binds.
+//   T-SHARD-T — thread scaling at S = 8: T = 1, 2, 4, ..., cores.  The
+//               acceptance bar for the subsystem: updates/sec increases
+//               from 1 thread to all cores (on multi-core hosts).
+//
+// Both sweeps are emitted to BENCH_shard.json via BenchJson, then a small
+// google-benchmark section measures the same configurations.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "shard/sharded_engine.h"
+#include "workload/churn.h"
+
+namespace memreal::bench {
+namespace {
+
+constexpr double kEps = 1.0 / 64;
+constexpr Tick kShardCapacity = Tick{1} << 34;
+
+std::size_t cores() {
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+Sequence shard_workload(const std::string& allocator, std::size_t shards,
+                        std::size_t updates, std::uint64_t seed) {
+  const AllocatorInfo info = allocator_info(allocator);
+  ChurnConfig c;
+  c.capacity = kShardCapacity * shards;
+  c.eps = kEps;
+  c.min_size = info.sizes.min_size(kEps, kShardCapacity);
+  c.max_size = info.sizes.max_size(kEps, kShardCapacity) - 1;
+  c.target_load = 0.8;
+  c.churn_updates = updates;
+  c.seed = seed;
+  return make_churn(c);
+}
+
+ShardedConfig shard_config(const std::string& allocator, std::size_t shards,
+                           std::size_t threads) {
+  ShardedConfig c;
+  c.allocator = allocator;
+  c.params.eps = kEps;
+  c.params.seed = 1;
+  c.shards = shards;
+  c.shard_capacity = kShardCapacity;
+  c.eps = kEps;
+  c.threads = threads;
+  c.batch_size = 4'096;
+  return c;
+}
+
+struct Point {
+  std::size_t shards;
+  std::size_t threads;
+  ShardedRunStats stats;
+};
+
+Point measure(const std::string& allocator, const Sequence& seq,
+              std::size_t shards, std::size_t threads) {
+  ShardedEngine engine(shard_config(allocator, shards, threads));
+  Point p{shards, engine.thread_count(), engine.run(seq)};
+  engine.audit();
+  return p;
+}
+
+void add_point(BenchJson& artifact, const std::string& sweep,
+               const std::string& allocator, const Point& p) {
+  Json rec = Json::object();
+  rec.set("sweep", sweep)
+      .set("allocator", allocator)
+      .set("shards", static_cast<std::uint64_t>(p.shards))
+      .set("threads", static_cast<std::uint64_t>(p.threads))
+      .set("updates", static_cast<std::uint64_t>(p.stats.global.updates))
+      .set("wall_seconds", p.stats.global.wall_seconds)
+      .set("updates_per_second", p.stats.updates_per_second())
+      .set("mean_cost", p.stats.global.mean_cost())
+      .set("ratio_cost", p.stats.global.ratio_cost())
+      .set("imbalance", p.stats.imbalance())
+      .set("fallback_routes",
+           static_cast<std::uint64_t>(p.stats.fallback_routes));
+  artifact.add(std::move(rec));
+}
+
+void add_row(Table& t, const Point& p) {
+  t.add_row({std::to_string(p.shards), std::to_string(p.threads),
+             std::to_string(p.stats.global.updates),
+             Table::num(p.stats.global.wall_seconds, 4),
+             Table::num(p.stats.updates_per_second(), 6),
+             Table::num(p.stats.global.mean_cost(), 4),
+             Table::num(p.stats.imbalance(), 3)});
+}
+
+void print_experiment() {
+  const bool fast = fast_mode();
+  const std::string allocator = "simple";
+  const std::size_t updates = fast ? 4'000 : 40'000;
+  BenchJson artifact("shard");
+
+  print_header("T-SHARD-S — shard scaling (all cores)",
+               "Validated sharded churn: updates/sec vs shard count at "
+               "full thread parallelism.");
+  std::vector<std::size_t> shard_counts{1, 2, 4, 8};
+  if (!fast) shard_counts.push_back(16);
+  Table by_shards({"shards", "threads", "updates", "wall_s", "updates/s",
+                   "mean_cost", "imbalance"});
+  for (const std::size_t s : shard_counts) {
+    const Sequence seq = shard_workload(allocator, s, updates, 1);
+    const Point p = measure(allocator, seq, s, 0);
+    add_row(by_shards, p);
+    add_point(artifact, "shards", allocator, p);
+  }
+  by_shards.print(std::cout);
+
+  print_header("T-SHARD-T — thread scaling (S = 8)",
+               "Same workload, fixed 8 shards: updates/sec from 1 thread "
+               "to all cores.");
+  std::vector<std::size_t> thread_counts;
+  for (std::size_t t = 1; t < cores(); t *= 2) thread_counts.push_back(t);
+  thread_counts.push_back(cores());
+  const Sequence seq8 = shard_workload(allocator, 8, updates, 1);
+  Table by_threads({"shards", "threads", "updates", "wall_s", "updates/s",
+                    "mean_cost", "imbalance"});
+  double first_rate = 0.0;
+  double last_rate = 0.0;
+  for (const std::size_t t : thread_counts) {
+    const Point p = measure(allocator, seq8, 8, t);
+    add_row(by_threads, p);
+    add_point(artifact, "threads", allocator, p);
+    if (t == thread_counts.front()) first_rate = p.stats.updates_per_second();
+    last_rate = p.stats.updates_per_second();
+  }
+  by_threads.print(std::cout);
+  std::cout << "1-thread -> all-cores speedup at S = 8: "
+            << Table::num(last_rate / first_rate, 3) << "x over "
+            << cores() << " core(s)\n";
+
+  artifact.write();
+}
+
+void bm_sharded_churn(benchmark::State& state) {
+  const auto shards = static_cast<std::size_t>(state.range(0));
+  const Sequence seq = shard_workload("simple", shards, 2'000, 1);
+  for (auto _ : state) {
+    ShardedEngine engine(shard_config("simple", shards, 0));
+    const ShardedRunStats stats = engine.run(seq);
+    benchmark::DoNotOptimize(stats.global.moved_mass);
+    state.counters["updates_per_s"] = stats.updates_per_second();
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * seq.updates.size()));
+}
+
+}  // namespace
+}  // namespace memreal::bench
+
+int main(int argc, char** argv) {
+  memreal::bench::print_experiment();
+
+  benchmark::RegisterBenchmark("BM_ShardedChurn",
+                               memreal::bench::bm_sharded_churn)
+      ->Arg(1)
+      ->Arg(4)
+      ->Arg(8);
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

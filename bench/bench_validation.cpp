@@ -97,6 +97,7 @@ void print_experiment() {
            : std::vector<std::size_t>{1'000, 10'000, 100'000};
   Table t({"items", "none_us", "incremental_us", "full_audit_us",
            "audit/incremental"});
+  BenchJson artifact("validation");
   for (const std::size_t n : sizes) {
     const std::size_t light = fast ? 20'000 : 50'000;
     // The full audit is ~n per update; cap its total work instead of its
@@ -108,10 +109,18 @@ void print_experiment() {
     const double full = us_per_update(n, "full-audit", heavy);
     t.add_row({std::to_string(n), Table::num(none, 3), Table::num(inc, 3),
                Table::num(full, 3), Table::num(full / inc, 3)});
+    Json rec = Json::object();
+    rec.set("items", static_cast<std::uint64_t>(n))
+        .set("none_us", none)
+        .set("incremental_us", inc)
+        .set("full_audit_us", full)
+        .set("audit_over_incremental", full / inc);
+    artifact.add(std::move(rec));
   }
   t.print(std::cout);
   std::cout << "(speedup must be >= 10x at n ~ 1e5; incremental_us should "
                "be flat in n up to the O(log n) index walk)\n";
+  artifact.write();
 }
 
 void bm_validated_churn(benchmark::State& state, const std::string& mode) {

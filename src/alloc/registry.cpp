@@ -134,11 +134,22 @@ const Entry* find_entry(const std::string& name) {
   return nullptr;
 }
 
+std::string known_names() {
+  std::string names;
+  for (const std::string& n : allocator_names()) {
+    if (!names.empty()) names += ", ";
+    names += n;
+  }
+  return names;
+}
+
 }  // namespace
 
 AllocatorFactory allocator_factory(const std::string& name) {
   const Entry* e = find_entry(name);
-  MEMREAL_CHECK_MSG(e != nullptr, "unknown allocator '" << name << "'");
+  MEMREAL_CHECK_MSG(e != nullptr, "unknown allocator '"
+                                      << name << "' (registered: "
+                                      << known_names() << ")");
   return e->factory;
 }
 
@@ -152,7 +163,9 @@ std::vector<std::string> allocator_names() {
 
 AllocatorInfo allocator_info(const std::string& name) {
   const Entry* e = find_entry(name);
-  MEMREAL_CHECK_MSG(e != nullptr, "unknown allocator '" << name << "'");
+  MEMREAL_CHECK_MSG(e != nullptr, "unknown allocator '"
+                                      << name << "' (registered: "
+                                      << known_names() << ")");
   return e->info;
 }
 

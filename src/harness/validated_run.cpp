@@ -20,8 +20,12 @@ EngineOptions cell_options(const CellConfig& config) {
 }  // namespace
 
 ValidatedCell::ValidatedCell(const Sequence& seq, const CellConfig& config)
+    : ValidatedCell(seq.capacity, seq.eps_ticks, config) {}
+
+ValidatedCell::ValidatedCell(Tick capacity, Tick eps_ticks,
+                             const CellConfig& config)
     : name_(config.allocator),
-      memory_(seq.capacity, seq.eps_ticks, cell_policy(config)),
+      memory_(capacity, eps_ticks, cell_policy(config)),
       allocator_(make_allocator(config.allocator, memory_, config.params)),
       engine_(memory_, *allocator_, cell_options(config)) {}
 

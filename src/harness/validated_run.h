@@ -33,6 +33,10 @@ class ValidatedCell {
  public:
   ValidatedCell(const Sequence& seq, const CellConfig& config);
 
+  /// Sequence-free construction for drivers that own the update routing
+  /// themselves (the sharded engine builds one cell per shard).
+  ValidatedCell(Tick capacity, Tick eps_ticks, const CellConfig& config);
+
   ValidatedCell(const ValidatedCell&) = delete;
   ValidatedCell& operator=(const ValidatedCell&) = delete;
 

@@ -1,0 +1,86 @@
+#include "shard/router.h"
+
+#include <bit>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace memreal {
+
+namespace {
+
+class HashRouter final : public Router {
+ public:
+  explicit HashRouter(std::size_t shards) : shards_(shards) {}
+
+  std::size_t route(ItemId id, Tick /*size*/) override {
+    // One SplitMix64 step: ids are consecutive integers in generated
+    // workloads, so routing raw id % S would stripe, not spread.
+    return static_cast<std::size_t>(SplitMix64(id).next() % shards_);
+  }
+
+  [[nodiscard]] std::string_view name() const override { return "hash"; }
+
+ private:
+  std::uint64_t shards_;
+};
+
+class SizeClassRouter final : public Router {
+ public:
+  explicit SizeClassRouter(std::size_t shards) : shards_(shards) {}
+
+  std::size_t route(ItemId /*id*/, Tick size) override {
+    // size >= 1 always (the engine rejects empty updates).
+    const auto size_class = static_cast<std::size_t>(std::bit_width(size) - 1);
+    return size_class % shards_;
+  }
+
+  [[nodiscard]] std::string_view name() const override { return "size-class"; }
+
+ private:
+  std::size_t shards_;
+};
+
+class RoundRobinRouter final : public Router {
+ public:
+  explicit RoundRobinRouter(std::size_t shards) : shards_(shards) {}
+
+  std::size_t route(ItemId /*id*/, Tick /*size*/) override {
+    const std::size_t s = next_;
+    next_ = (next_ + 1) % shards_;
+    return s;
+  }
+
+  [[nodiscard]] std::string_view name() const override {
+    return "round-robin";
+  }
+
+ private:
+  std::size_t shards_;
+  std::size_t next_ = 0;
+};
+
+}  // namespace
+
+std::vector<std::string> router_names() {
+  return {"hash", "size-class", "round-robin"};
+}
+
+std::unique_ptr<Router> make_router(const std::string& name,
+                                    std::size_t shards) {
+  MEMREAL_CHECK_MSG(shards >= 1, "router needs at least one shard");
+  if (name == "hash") return std::make_unique<HashRouter>(shards);
+  if (name == "size-class") return std::make_unique<SizeClassRouter>(shards);
+  if (name == "round-robin") {
+    return std::make_unique<RoundRobinRouter>(shards);
+  }
+  std::string known;
+  for (const std::string& n : router_names()) {
+    if (!known.empty()) known += ", ";
+    known += n;
+  }
+  MEMREAL_CHECK_MSG(false, "unknown router policy '"
+                               << name << "' (known: " << known << ")");
+}
+
+}  // namespace memreal

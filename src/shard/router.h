@@ -1,0 +1,51 @@
+// Routing policies for the sharded engine: which cell serves a new item.
+//
+// A Router is consulted once per *insert* (the proposed shard); deletes
+// always follow the item to wherever it actually landed, via the engine's
+// id -> shard placement map.  The proposal is advisory — ShardedEngine
+// falls back to the least-loaded shard when the proposed cell cannot
+// accept the item without breaking its per-shard load-factor promise (and
+// counts the diversion, see ShardedRunStats::fallback_routes).
+//
+// Policies:
+//   hash        — SplitMix64 of the id, modulo S.  Stateless; spreads any
+//                 id stream uniformly, the default for uniform churn.
+//   size-class  — floor(log2(size)) modulo S.  Items of one size class
+//                 share a shard (slab affinity); skewed size mixes skew
+//                 the shards, which is exactly what the rebalancer and the
+//                 fallback path are exercised by.
+//   round-robin — arrival order modulo S.  Stateful but deterministic;
+//                 gives perfect insert-count balance regardless of ids.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/types.h"
+
+namespace memreal {
+
+class Router {
+ public:
+  virtual ~Router() = default;
+
+  /// The proposed shard in [0, shards) for inserting (id, size).  Called
+  /// exactly once per insert, in sequence order — stateful policies rely
+  /// on that.
+  [[nodiscard]] virtual std::size_t route(ItemId id, Tick size) = 0;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+};
+
+/// Registered policy names: hash, size-class, round-robin.
+[[nodiscard]] std::vector<std::string> router_names();
+
+/// Constructs the policy `name` for `shards` cells; throws
+/// InvariantViolation for unknown names (the message lists the known
+/// policies) and for shards == 0.
+[[nodiscard]] std::unique_ptr<Router> make_router(const std::string& name,
+                                                  std::size_t shards);
+
+}  // namespace memreal

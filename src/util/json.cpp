@@ -1,0 +1,106 @@
+#include "util/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "util/check.h"
+
+namespace memreal {
+
+Json& Json::set(const std::string& key, Json value) {
+  MEMREAL_CHECK_MSG(kind_ == Kind::kObject, "Json::set on a non-object");
+  children_.emplace_back(key, std::move(value));
+  return *this;
+}
+
+Json& Json::push(Json value) {
+  MEMREAL_CHECK_MSG(kind_ == Kind::kArray, "Json::push on a non-array");
+  children_.emplace_back(std::string(), std::move(value));
+  return *this;
+}
+
+void Json::write_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void Json::write(std::string& out, int indent, int depth) const {
+  const auto newline = [&](int d) {
+    if (indent > 0) {
+      out += '\n';
+      out.append(static_cast<std::size_t>(indent * d), ' ');
+    }
+  };
+  switch (kind_) {
+    case Kind::kNull:
+      out += "null";
+      break;
+    case Kind::kBool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Kind::kUInt: {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%llu",
+                    static_cast<unsigned long long>(uint_));
+      out += buf;
+      break;
+    }
+    case Kind::kNumber: {
+      if (!std::isfinite(num_)) {
+        out += "null";
+        break;
+      }
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%.*g",
+                    std::numeric_limits<double>::max_digits10, num_);
+      out += buf;
+      break;
+    }
+    case Kind::kString:
+      write_escaped(out, str_);
+      break;
+    case Kind::kObject:
+    case Kind::kArray: {
+      const bool obj = kind_ == Kind::kObject;
+      out += obj ? '{' : '[';
+      for (std::size_t i = 0; i < children_.size(); ++i) {
+        if (i) out += ',';
+        newline(depth + 1);
+        if (obj) {
+          write_escaped(out, children_[i].first);
+          out += indent > 0 ? ": " : ":";
+        }
+        children_[i].second.write(out, indent, depth + 1);
+      }
+      if (!children_.empty()) newline(depth);
+      out += obj ? '}' : ']';
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  write(out, indent, 0);
+  return out;
+}
+
+}  // namespace memreal

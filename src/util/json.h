@@ -1,0 +1,63 @@
+// A minimal JSON document builder for machine-readable artifacts
+// (BENCH_*.json, memreal_shard --json).  Build-only — there is no parser;
+// consumers are external (CI checks, plotting scripts).  Keys keep
+// insertion order so emitted files diff cleanly across runs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace memreal {
+
+class Json {
+ public:
+  /// Scalars.  Doubles are emitted with max_digits10 so round-trips are
+  /// exact; non-finite doubles are emitted as null (JSON has no inf/nan).
+  Json() : kind_(Kind::kNull) {}
+  Json(bool b) : kind_(Kind::kBool), bool_(b) {}             // NOLINT
+  Json(double d) : kind_(Kind::kNumber), num_(d) {}          // NOLINT
+  Json(std::uint64_t u) : kind_(Kind::kUInt), uint_(u) {}    // NOLINT
+  Json(int i) : kind_(Kind::kNumber), num_(i) {}             // NOLINT
+  Json(std::string s) : kind_(Kind::kString), str_(std::move(s)) {}  // NOLINT
+  Json(const char* s) : kind_(Kind::kString), str_(s) {}     // NOLINT
+
+  static Json object() { return Json(Kind::kObject); }
+  static Json array() { return Json(Kind::kArray); }
+
+  /// Object member (insertion-ordered; duplicate keys are kept as-is, the
+  /// caller is expected not to produce them).  Returns *this for chaining.
+  Json& set(const std::string& key, Json value);
+
+  /// Array element.  Returns *this for chaining.
+  Json& push(Json value);
+
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
+  [[nodiscard]] std::size_t size() const { return children_.size(); }
+
+  /// Serializes the document.  indent = 0 is compact; indent > 0
+  /// pretty-prints with that many spaces per level.
+  [[nodiscard]] std::string dump(int indent = 0) const;
+
+ private:
+  enum class Kind : unsigned char {
+    kNull, kBool, kNumber, kUInt, kString, kObject, kArray
+  };
+
+  explicit Json(Kind kind) : kind_(kind) {}
+
+  void write(std::string& out, int indent, int depth) const;
+  static void write_escaped(std::string& out, const std::string& s);
+
+  Kind kind_;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::uint64_t uint_ = 0;
+  std::string str_;
+  std::vector<std::pair<std::string, Json>> children_;  ///< object / array
+};
+
+}  // namespace memreal

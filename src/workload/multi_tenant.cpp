@@ -1,0 +1,100 @@
+#include "workload/multi_tenant.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/check.h"
+
+namespace memreal {
+
+Sequence make_multi_tenant(const MultiTenantConfig& config) {
+  MEMREAL_CHECK(config.tenants >= 1);
+  MEMREAL_CHECK(config.zipf_s >= 0.0);
+  MEMREAL_CHECK(config.target_load > 0.0 && config.target_load <= 1.0);
+  const auto cap_d = static_cast<double>(config.capacity);
+  Tick lo = config.min_size;
+  Tick hi = config.max_size;
+  if (lo == 0) lo = std::max<Tick>(1, static_cast<Tick>(config.eps * cap_d));
+  if (hi == 0) {
+    hi = std::max(lo + 1, static_cast<Tick>(2.0 * config.eps * cap_d) - 1);
+  }
+  MEMREAL_CHECK_MSG(lo <= hi, "multi-tenant: empty size band");
+  MEMREAL_CHECK_MSG(hi - lo + 1 >= config.tenants,
+                    "multi-tenant: band [" << lo << ", " << hi
+                                           << "] has fewer distinct sizes "
+                                              "than tenants");
+
+  // Log-partition [lo, hi] into per-tenant sub-bands [edge_t, edge_{t+1}).
+  const std::size_t tenants = config.tenants;
+  const double log_lo = std::log(static_cast<double>(lo));
+  const double log_hi = std::log(static_cast<double>(hi) + 1.0);
+  std::vector<Tick> edges(tenants + 1);
+  for (std::size_t t = 0; t <= tenants; ++t) {
+    const double f = static_cast<double>(t) / static_cast<double>(tenants);
+    edges[t] = static_cast<Tick>(std::exp(log_lo + f * (log_hi - log_lo)));
+  }
+  edges.front() = lo;
+  edges.back() = hi + 1;
+  // Rounding can collapse narrow bands; clamp each inner edge to leave at
+  // least one size below it and one per band above it (feasible because
+  // the band holds >= tenants distinct sizes).
+  for (std::size_t t = 1; t < tenants; ++t) {
+    const Tick at_least = edges[t - 1] + 1;
+    const Tick at_most = hi + 1 - static_cast<Tick>(tenants - t);
+    edges[t] = std::clamp(edges[t], at_least, at_most);
+  }
+
+  // Zipf weights over tenant ranks: weight(t) ~ 1 / (t+1)^s.
+  std::vector<double> cum(config.tenants);
+  double total = 0.0;
+  for (std::size_t t = 0; t < config.tenants; ++t) {
+    total += 1.0 / std::pow(static_cast<double>(t + 1), config.zipf_s);
+    cum[t] = total;
+  }
+
+  SequenceBuilder b("multi-tenant", config.capacity, config.eps);
+  Rng rng(config.seed);
+  auto draw_tenant = [&]() -> std::size_t {
+    const double u = rng.next_double() * total;
+    const auto it = std::lower_bound(cum.begin(), cum.end(), u);
+    return std::min<std::size_t>(static_cast<std::size_t>(it - cum.begin()),
+                                 config.tenants - 1);
+  };
+  auto draw = [&]() -> Tick {
+    const std::size_t t = draw_tenant();
+    return rng.next_tick_in(edges[t], edges[t + 1]);
+  };
+
+  // Fill toward target load, then churn (delete random / insert drawn),
+  // mirroring churn.cpp's phases but with the tenant-weighted size draw.
+  const auto target =
+      static_cast<Tick>(config.target_load * static_cast<double>(b.budget()));
+  for (;;) {
+    const Tick s = draw();
+    if (b.live_mass() + s > target) {
+      if (b.live_mass() + lo > target || !b.can_insert(lo)) break;
+      b.insert(lo);
+      continue;
+    }
+    b.insert(s);
+  }
+  for (std::size_t i = 0; i < config.churn_updates; ++i) {
+    if (i % 2 == 0 && b.live_count() > 0) {
+      b.erase_random(rng);
+    } else {
+      Tick s = draw();
+      if (!b.can_insert(s)) s = lo;
+      if (!b.can_insert(s)) {
+        b.erase_random(rng);
+        continue;
+      }
+      b.insert(s);
+    }
+  }
+  Sequence out = b.take();
+  out.name = "multi-tenant";
+  return out;
+}
+
+}  // namespace memreal

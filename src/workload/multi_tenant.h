@@ -1,0 +1,40 @@
+// Multi-tenant workloads for the sharded engine.
+//
+// T tenants share one address space.  Each tenant owns a sub-band of the
+// global size range (log-partitioned, so tenants look like distinct size
+// classes), and insert traffic picks the tenant Zipf-weighted — tenant 1
+// is the hot tenant.  With zipf_s = 0 every tenant is equally active and
+// the stream degenerates to banded uniform churn; at zipf_s ~ 1 the head
+// tenant dominates, which is the workload that skews a size-class-routed
+// shard layout and exercises the fallback/rebalance paths.
+//
+// Like every generator, the output is an offline, well-formed Sequence —
+// the sharded engine consumes it like any single-cell workload.
+#pragma once
+
+#include <cstdint>
+
+#include "workload/sequence.h"
+
+namespace memreal {
+
+struct MultiTenantConfig {
+  /// Global capacity: for an S-shard run pass S * shard_capacity, with
+  /// the size band expressed in fractions of *shard* capacity.
+  Tick capacity = kDefaultCapacity;
+  double eps = 1.0 / 64;
+  std::size_t tenants = 4;
+  /// Zipf exponent over tenant activity (0 = uniform).
+  double zipf_s = 1.0;
+  /// Global size band, log-partitioned across tenants.
+  /// 0 = [eps, 2 eps) of capacity, matching plain churn defaults.
+  Tick min_size = 0;
+  Tick max_size = 0;
+  double target_load = 0.8;  ///< fill level as a fraction of the budget
+  std::size_t churn_updates = 10'000;
+  std::uint64_t seed = 1;
+};
+
+[[nodiscard]] Sequence make_multi_tenant(const MultiTenantConfig& config);
+
+}  // namespace memreal

@@ -127,6 +127,26 @@ TEST(RegistrySmoke, EveryRegisteredAllocatorSurvivesValidatedRandomRun) {
   }
 }
 
+TEST(RegistrySmoke, UnknownAllocatorErrorListsRegisteredNames) {
+  for (const auto* lookup : {"factory", "info"}) {
+    SCOPED_TRACE(lookup);
+    try {
+      if (std::string(lookup) == "factory") {
+        (void)allocator_factory("no-such-allocator");
+      } else {
+        (void)allocator_info("no-such-allocator");
+      }
+      FAIL() << "expected InvariantViolation";
+    } catch (const InvariantViolation& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("no-such-allocator"), std::string::npos);
+      for (const auto& name : allocator_names()) {
+        EXPECT_NE(what.find(name), std::string::npos) << name;
+      }
+    }
+  }
+}
+
 TEST(RegistrySmoke, ConstructedAllocatorsReportNames) {
   for (const auto& name : allocator_names()) {
     SCOPED_TRACE(name);

@@ -1,5 +1,5 @@
 // Unit tests for the util substrate: rng, stats, fit, thresholds
-// (Lemmas 4.3 / 4.4), parallel, table.
+// (Lemmas 4.3 / 4.4), parallel, table, json.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -13,6 +13,7 @@
 #include "fuzz/fuzzer.h"
 #include "util/check.h"
 #include "util/fit.h"
+#include "util/json.h"
 #include "util/parallel.h"
 #include "util/rng.h"
 #include "util/stats.h"
@@ -426,6 +427,46 @@ TEST(Table, RejectsArityMismatch) {
 
 TEST(Table, NumFormatsSignificantDigits) {
   EXPECT_EQ(Table::num(3.14159, 3), "3.14");
+}
+
+// -- json -----------------------------------------------------------------
+
+TEST(Json, DumpsScalarsObjectsAndArrays) {
+  Json doc = Json::object();
+  doc.set("name", "bench").set("ok", true).set("count", std::uint64_t{42});
+  Json arr = Json::array();
+  arr.push(1.5).push(Json());  // null
+  doc.set("values", std::move(arr));
+  EXPECT_EQ(doc.dump(),
+            "{\"name\":\"bench\",\"ok\":true,\"count\":42,"
+            "\"values\":[1.5,null]}");
+}
+
+TEST(Json, KeepsInsertionOrderAndPrettyPrints) {
+  Json doc = Json::object();
+  doc.set("b", 1).set("a", 2);
+  EXPECT_EQ(doc.dump(2), "{\n  \"b\": 1,\n  \"a\": 2\n}");
+}
+
+TEST(Json, EscapesStringsAndHandlesNonFinite) {
+  Json doc = Json::object();
+  doc.set("s", "a\"b\\c\nd").set("inf", Json(1.0 / 0.0));
+  EXPECT_EQ(doc.dump(), "{\"s\":\"a\\\"b\\\\c\\nd\",\"inf\":null}");
+}
+
+TEST(Json, LargeUintsAndDoublesRoundTripExactly) {
+  Json doc = Json::array();
+  doc.push(std::uint64_t{1} << 50).push(0.1);
+  const std::string s = doc.dump();
+  EXPECT_NE(s.find("1125899906842624"), std::string::npos);
+  EXPECT_EQ(std::stod(s.substr(s.find(',') + 1)), 0.1);
+}
+
+TEST(Json, SetOnNonObjectThrows) {
+  Json arr = Json::array();
+  EXPECT_THROW(arr.set("k", 1), InvariantViolation);
+  Json obj = Json::object();
+  EXPECT_THROW(obj.push(1), InvariantViolation);
 }
 
 // -- check ----------------------------------------------------------------
