@@ -24,7 +24,7 @@ using namespace memreal::bench;
 
 constexpr Tick kCap = Tick{1} << 50;
 
-void ablate_geo_thresholds() {
+void ablate_geo_thresholds(BenchJson& artifact) {
   print_header(
       "T8a — GEO randomized vs deterministic rebuild thresholds",
       "Lemma 4.4 bounds the probability that any FIXED update pays for a "
@@ -44,6 +44,10 @@ void ablate_geo_thresholds() {
   const std::size_t n = seq.updates.size();
   const std::size_t runs = fast_mode() ? 4 : 12;
 
+  Json rec = series_record("ablation", "T8", "geo-thresholds");
+  rec.set("workload", "single-class attack below the huge threshold, "
+                      "eps = 1/64");
+  Json rows = Json::array();
   Table t({"thresholds", "mean cost", "max_u E[cost(u)]",
            "p99_u E[cost(u)]"});
   for (bool deterministic : {false, true}) {
@@ -75,7 +79,16 @@ void ablate_geo_thresholds() {
     t.add_row({deterministic ? "deterministic (max of range)" : "randomized",
                Table::num(grand_mean / static_cast<double>(runs), 4),
                Table::num(mx, 5), Table::num(q.quantile(0.99), 5)});
+    Json row = Json::object();
+    row.set("thresholds",
+            deterministic ? "deterministic (max of range)" : "randomized")
+        .set("mean_cost", grand_mean / static_cast<double>(runs))
+        .set("max_expected_cost", mx)
+        .set("p99_expected_cost", q.quantile(0.99));
+    rows.push(std::move(row));
   }
+  rec.set("rows", std::move(rows));
+  artifact.add(std::move(rec));
   t.print(std::cout);
   std::cout << "(same total work; determinism concentrates it on "
                "predictable updates — the quantity Theorem 4.1 bounds is "
@@ -83,13 +96,16 @@ void ablate_geo_thresholds() {
                "everywhere)\n";
 }
 
-void ablate_simple_period() {
+void ablate_simple_period(BenchJson& artifact) {
   print_header("T8b — SIMPLE rebuild cadence",
                "The paper rebuilds every floor(eps^-1/3) updates; sweeping "
                "the period shows the trade-off.");
   const double eps = 1.0 / 512;  // eps^-1/3 = 8
   const Sequence seq =
       make_simple_regime(kCap, eps, fast_mode() ? 2'000 : 20'000, 1);
+  Json rec = series_record("ablation", "T8", "simple-period");
+  rec.set("workload", "[eps, 2eps) churn at eps = 1/512");
+  Json rows = Json::array();
   Table t({"period", "mean_cost", "rebuilds", "note"});
   const std::size_t paper = static_cast<std::size_t>(
       std::floor(std::cbrt(1.0 / eps)));
@@ -99,23 +115,35 @@ void ablate_simple_period() {
     Memory mem(seq.capacity, seq.eps_ticks, policy);
     SimpleAllocator alloc(mem, eps);
     std::string note = period == paper ? "paper's floor(eps^-1/3)" : "";
+    Json row = Json::object();
+    row.set("period", static_cast<std::uint64_t>(period));
     try {
       alloc.set_rebuild_period(period);
       Engine engine(mem, alloc);
       RunStats s = engine.run(seq.updates);
       t.add_row({std::to_string(period), Table::num(s.mean_cost(), 4),
                  std::to_string(alloc.rebuilds()), note});
+      row.set("feasible", true)
+          .set("mean_cost", s.mean_cost())
+          .set("rebuilds", static_cast<std::uint64_t>(alloc.rebuilds()));
     } catch (const InvariantViolation&) {
       // Periods beyond eps^-1/3 overflow the waste budget: the algorithm's
       // own feasibility frontier.
       t.add_row({std::to_string(period), "-", "-",
                  "waste budget exceeded (expected)"});
+      row.set("feasible", false).set("mean_cost", Json()).set("rebuilds",
+                                                              Json());
+      note = "waste budget exceeded (expected)";
     }
+    row.set("paper_choice", period == paper).set("note", note);
+    rows.push(std::move(row));
   }
+  rec.set("rows", std::move(rows));
+  artifact.add(std::move(rec));
   t.print(std::cout);
 }
 
-void ablate_rsum_block() {
+void ablate_rsum_block(BenchJson& artifact) {
   print_header("T8c — RSUM block size m",
                "The paper uses m = 2*ceil(log2(eps^-1)/2); smaller blocks "
                "miss the subset window, larger ones pay 2^{m/2} decision "
@@ -127,6 +155,9 @@ void ablate_rsum_block() {
   w.churn_pairs = fast_mode() ? 1'000 : 6'000;
   const std::size_t paper =
       2 * static_cast<std::size_t>(std::ceil(std::log2(1.0 / eps) / 2.0));
+  Json rec = series_record("ablation", "T8", "rsum-block");
+  rec.set("workload", "delta-random sequences at eps = 1/4096");
+  Json rows = Json::array();
   Table t({"m", "mean_cost", "rebuilds", "decide_us/update", "note"});
   for (std::size_t m : {4ul, 8ul, paper, 2 * paper}) {
     StreamingStats mean, decide;
@@ -152,11 +183,20 @@ void ablate_rsum_block() {
     t.add_row({std::to_string(m), Table::num(mean.mean(), 4),
                std::to_string(rebuilds / 3), Table::num(decide.mean(), 4),
                m == paper ? "paper's 2*ceil(log2(1/eps)/2)" : ""});
+    Json row = Json::object();
+    row.set("m", static_cast<std::uint64_t>(m))
+        .set("mean_cost", mean.mean())
+        .set("rebuilds", static_cast<std::uint64_t>(rebuilds / 3))
+        .set("decide_us_per_update", decide.mean())
+        .set("paper_choice", m == paper);
+    rows.push(std::move(row));
   }
+  rec.set("rows", std::move(rows));
+  artifact.add(std::move(rec));
   t.print(std::cout);
 }
 
-void ablate_discrete_sizes() {
+void ablate_discrete_sizes(BenchJson& artifact) {
   print_header(
       "T8d — structured sizes (the conclusion's extension)",
       "Section 7 sketches covering-set allocators for few distinct sizes; "
@@ -164,9 +204,14 @@ void ablate_discrete_sizes() {
       "the palette size k on [eps, 2eps) churn.");
   const double eps = 1.0 / 512;
   const std::size_t updates = fast_mode() ? 2'000 : 15'000;
+  Json rec = series_record("info", "T8", "discrete-sizes");
+  rec.set("workload", "k-distinct-size churn at eps = 1/512");
+  Json rows = Json::array();
   Table t({"k distinct sizes", "discrete", "simple", "folklore-compact"});
   for (std::size_t k : {1ul, 2ul, 4ul, 8ul, 16ul, 32ul}) {
     std::vector<std::string> cells{std::to_string(k)};
+    Json row = Json::object();
+    row.set("k", static_cast<std::uint64_t>(k));
     for (const char* name : {"discrete", "simple", "folklore-compact"}) {
       StreamingStats mean;
       for (std::uint64_t seed = 1; seed <= 3; ++seed) {
@@ -188,9 +233,13 @@ void ablate_discrete_sizes() {
         mean.add(engine.run(seq.updates).mean_cost());
       }
       cells.push_back(Table::num(mean.mean(), 4));
+      row.set(json_key(name), mean.mean());
     }
     t.add_row(std::move(cells));
+    rows.push(std::move(row));
   }
+  rec.set("rows", std::move(rows));
+  artifact.add(std::move(rec));
   t.print(std::cout);
   std::cout << "(DISCRETE ~ sqrt(n k): far below SIMPLE's eps^-2/3 for "
                "small k, converging toward it as the palette grows)\n";
@@ -199,10 +248,13 @@ void ablate_discrete_sizes() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  ablate_geo_thresholds();
-  ablate_simple_period();
-  ablate_rsum_block();
-  ablate_discrete_sizes();
+  memreal::bench::BenchJson artifact("ablations");
+  artifact.set_seeds({1, 2, 3, 99});
+  ablate_geo_thresholds(artifact);
+  ablate_simple_period(artifact);
+  ablate_rsum_block(artifact);
+  ablate_discrete_sizes(artifact);
+  artifact.write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

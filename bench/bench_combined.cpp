@@ -17,7 +17,7 @@ using namespace memreal::bench;
 
 constexpr Tick kCap = Tick{1} << 50;
 
-void run_combined_table() {
+void run_combined_table(BenchJson& artifact) {
   const bool fast = fast_mode();
   const std::size_t updates = fast ? 1'000 : 12'000;
   std::vector<double> eps_values{1.0 / 16, 1.0 / 32, 1.0 / 64};
@@ -46,10 +46,10 @@ void run_combined_table() {
   c.eps_values = eps_values;
   c.seeds = 3;
   c.audit_every = 1024;
-  const auto rows = run_experiment(c);
-  std::cout << "\nCOMBINED on mixed tiny+large churn (50% tiny updates):\n";
-  rows_table("combined", rows).print(std::cout);
-  print_fit("combined", fit_cost_exponent(rows));
+  emit_eps_series(artifact,
+                  {"T3", "mixed-tiny-large/combined", "combined",
+                   "mixed tiny+large churn (50% tiny updates)", "power"},
+                  run_experiment(c));
   std::cout << "(note: for eps > 2^-7 the tiny/large split point is clamped "
                "below eps^4 so the tiny units keep their Theta(eps^3) size "
                "— near-eps^4 items then route to GEO, inflating the cost at "
@@ -57,11 +57,15 @@ void run_combined_table() {
                "the paper's eps^4)\n";
 }
 
-void run_flexhash_table() {
+void run_flexhash_table(BenchJson& artifact) {
   print_header("T3b — Lemma 4.9 external updates",
                "Claim: worst-case expected external update cost O(1) "
                "(measured: rotated mass / pushed mass, flat in eps).");
 
+  Json rec = series_record("flat_check", "T3", "flexhash-external");
+  rec.set("workload", "FLEXHASH external pushes, sizes in "
+                      "(max tiny, unit]");
+  Json rows = Json::array();
   Table t({"eps", "external updates", "pushed mass/cap", "moved mass/cap",
            "cost (moved/pushed)", "rotations"});
   for (double eps : {1.0 / 16, 1.0 / 32, 1.0 / 64}) {
@@ -108,9 +112,22 @@ void run_flexhash_table() {
                Table::num(static_cast<double>(moved) /
                               static_cast<double>(pushed), 4),
                std::to_string(flex.rotations())});
+    Json row = Json::object();
+    row.set("eps", eps)
+        .set("external_updates", static_cast<std::uint64_t>(n))
+        .set("pushed_over_capacity",
+             static_cast<double>(pushed) / static_cast<double>(kCap))
+        .set("moved_over_capacity",
+             static_cast<double>(moved) / static_cast<double>(kCap))
+        .set("cost",
+             static_cast<double>(moved) / static_cast<double>(pushed))
+        .set("rotations", static_cast<std::uint64_t>(flex.rotations()));
+    rows.push(std::move(row));
     flex.check_invariants();
     mem.audit();
   }
+  rec.set("rows", std::move(rows));
+  artifact.add(std::move(rec));
   std::cout << "\n";
   t.print(std::cout);
   std::cout << "(cost flat across eps and around O(1) => Lemma 4.9 shape "
@@ -120,8 +137,11 @@ void run_flexhash_table() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  run_combined_table();
-  run_flexhash_table();
+  memreal::bench::BenchJson artifact("combined");
+  artifact.set_seeds({1, 2, 3, 7});
+  run_combined_table(artifact);
+  run_flexhash_table(artifact);
+  artifact.write();
   memreal::bench::register_throughput(
       "combined_throughput/eps=1/32", "combined", 1.0 / 32,
       [](double eps, std::uint64_t seed) {

@@ -13,6 +13,7 @@
 
 #include <cstdlib>
 #include <fstream>
+#include <initializer_list>
 #include <iostream>
 #include <string>
 #include <utility>
@@ -30,13 +31,42 @@ inline bool fast_mode() {
   return v != nullptr && v[0] == '1';
 }
 
+/// Build provenance stamped into every BENCH_*.json.  The
+/// MEMREAL_GIT_DESCRIBE env var wins (CI sets it from the checkout);
+/// otherwise the configure-time value baked in by CMake, else "unknown".
+inline std::string git_describe() {
+  const char* v = std::getenv("MEMREAL_GIT_DESCRIBE");
+  if (v != nullptr && v[0] != '\0') return v;
+#ifdef MEMREAL_GIT_DESCRIBE
+  return MEMREAL_GIT_DESCRIBE;
+#else
+  return "unknown";
+#endif
+}
+
 /// Machine-readable companion to the printed tables: a bench collects one
-/// JSON record per measured configuration and writes BENCH_<name>.json
-/// (CI uploads these as artifacts — the perf trajectory across PRs).
-/// MEMREAL_BENCH_DIR overrides the output directory (default: cwd).
+/// JSON record per measured series and writes BENCH_<name>.json — the
+/// input `memreal_report` aggregates into docs/REPORT.md and the
+/// EXPERIMENTS.md marker blocks (CI uploads the files as artifacts — the
+/// perf trajectory across PRs).
+///
+/// Schema 2: {bench, schema: 2, git_describe, fast_mode, seeds,
+/// records: [...]}; every record is {kind, claim, series, ..., rows: [...]}
+/// with `series` unique within the bench.  `memreal_report` rejects any
+/// other schema version.  MEMREAL_BENCH_DIR overrides the output
+/// directory (default: cwd).
 class BenchJson {
  public:
+  static constexpr std::uint64_t kSchema = 2;
+
   explicit BenchJson(std::string bench) : bench_(std::move(bench)) {}
+
+  /// Declares the workload/allocator seeds the sweeps derive from, for
+  /// the report's provenance table.
+  void set_seeds(std::initializer_list<std::uint64_t> seeds) {
+    seeds_ = Json::array();
+    for (const std::uint64_t s : seeds) seeds_.push(s);
+  }
 
   void add(Json record) { records_.push(std::move(record)); }
 
@@ -48,8 +78,10 @@ class BenchJson {
                            : std::string();
     path += "BENCH_" + bench_ + ".json";
     Json doc = Json::object();
-    doc.set("bench", bench_).set("schema", std::uint64_t{1});
+    doc.set("bench", bench_).set("schema", kSchema);
+    doc.set("git_describe", git_describe());
     doc.set("fast_mode", fast_mode());
+    doc.set("seeds", seeds_);
     doc.set("records", records_);
     std::ofstream out(path);
     out << doc.dump(2) << "\n";
@@ -65,6 +97,7 @@ class BenchJson {
 
  private:
   std::string bench_;
+  Json seeds_ = Json::array();
   Json records_ = Json::array();
 };
 
@@ -83,6 +116,62 @@ inline void print_fit(const std::string& label, const LinearFit& fit) {
   std::cout << label << ": cost ~ " << Table::num(fit.intercept, 3) << " + "
             << Table::num(fit.slope, 3) << " * log2(1/eps)  (r^2 = "
             << Table::num(fit.r2, 3) << ")\n";
+}
+
+/// One measured series of a paper claim: names the claim (the report's
+/// key), the series (unique within the bench), and which fit model the
+/// rows are meant to reproduce ("power", "log", "both" or "none").
+struct SeriesSpec {
+  std::string claim;
+  std::string series;
+  std::string allocator;
+  std::string workload;
+  std::string fit = "power";
+};
+
+/// The single path every eps-sweep series goes through: prints the rows
+/// table plus the requested fit(s) and appends the schema-2 `eps_sweep`
+/// record to the artifact, so the human tables and the machine-readable
+/// fit inputs cannot drift apart.
+inline void emit_eps_series(BenchJson& artifact, const SeriesSpec& spec,
+                            const std::vector<EpsRow>& rows) {
+  std::cout << "\nWorkload: " << spec.workload << "\n";
+  rows_table(spec.allocator, rows).print(std::cout);
+  if (spec.fit == "power" || spec.fit == "both") {
+    print_fit(spec.allocator, fit_cost_exponent(rows));
+  }
+  if (spec.fit == "log" || spec.fit == "both") {
+    print_fit(spec.allocator + " (log model)", fit_cost_log(rows));
+  }
+  Json rec = Json::object();
+  rec.set("kind", "eps_sweep")
+      .set("claim", spec.claim)
+      .set("series", spec.series)
+      .set("allocator", spec.allocator)
+      .set("workload", spec.workload)
+      .set("fit", spec.fit)
+      .set("rows", eps_rows_json(rows));
+  artifact.add(std::move(rec));
+}
+
+/// Registry allocator names as JSON row keys ("folklore-compact" ->
+/// "folklore_compact") — the report's verdict rules look rows up by
+/// these keys.
+inline std::string json_key(std::string name) {
+  for (char& ch : name) {
+    if (ch == '-') ch = '_';
+  }
+  return name;
+}
+
+/// Starts a non-eps-sweep record (`kind` in {bound_check, success_rate,
+/// lb_floor, ablation, flat_check, validation_speedup, shard_scaling,
+/// info}); the caller fills `rows` with flat objects sharing one key set.
+inline Json series_record(const std::string& kind, const std::string& claim,
+                          const std::string& series) {
+  Json rec = Json::object();
+  rec.set("kind", kind).set("claim", claim).set("series", series);
+  return rec;
 }
 
 /// Registers a google-benchmark measuring updates/second of `allocator` on

@@ -29,6 +29,9 @@ void run_tables() {
                "Claim (folklore bound): inserts cost O(eps^-1), deletes are "
                "free; amortized O(eps^-1).");
 
+  BenchJson artifact("folklore");
+  artifact.set_seeds({1, 2, 3});
+
   SequenceFactory band_seq = [updates](double eps, std::uint64_t seed) {
     return make_simple_regime(kCap, eps, updates, seed);
   };
@@ -47,10 +50,10 @@ void run_tables() {
     c.make_sequence = band_seq;
     c.eps_values = eps_values;
     c.seeds = 3;
-    const auto rows = run_experiment(c);
-    std::cout << "\nWorkload: churn with sizes in [eps, 2eps)\n";
-    rows_table(name, rows).print(std::cout);
-    print_fit(name, fit_cost_exponent(rows));
+    emit_eps_series(artifact,
+                    {"T0", std::string("churn/") + name, name,
+                     "churn with sizes in [eps, 2eps)", "power"},
+                    run_experiment(c));
   }
 
   for (const char* name : {"folklore-compact", "folklore-windowed"}) {
@@ -60,9 +63,10 @@ void run_tables() {
     c.eps_values = eps_values;
     c.seeds = 3;
     const auto rows = run_experiment(c);
-    std::cout << "\nWorkload: fragmenter (pigeonhole worst case)\n";
-    rows_table(name, rows).print(std::cout);
-    print_fit(name, fit_cost_exponent(rows));
+    emit_eps_series(artifact,
+                    {"T0", std::string("fragmenter/") + name, name,
+                     "fragmenter (pigeonhole worst case)", "power"},
+                    rows);
     std::cout << "windowed bound check: max cost vs 3/eps + 1:\n";
     for (const auto& r : rows) {
       std::cout << "  1/eps = " << Table::num(1 / r.eps, 5) << ": max "
@@ -70,6 +74,7 @@ void run_tables() {
                 << Table::num(3.0 / r.eps + 1.0, 5) << "\n";
     }
   }
+  artifact.write();
 }
 
 }  // namespace

@@ -40,6 +40,9 @@ void run_tables() {
     return make_geo_regime(c);
   };
 
+  BenchJson artifact("geo");
+  artifact.set_seeds({1, 2, 3});
+
   ComparisonConfig c;
   c.allocators = {"folklore-compact", "geo"};
   c.make_sequence = seq;
@@ -53,8 +56,11 @@ void run_tables() {
   result.cost_table().print(std::cout);
   result.exponent_table().print(std::cout);
   for (std::size_t i = 0; i < result.allocators.size(); ++i) {
-    std::cout << "\nDetail: " << result.allocators[i] << "\n";
-    rows_table(result.allocators[i], result.rows[i]).print(std::cout);
+    emit_eps_series(artifact,
+                    {"T2", "geo-regime/" + result.allocators[i],
+                     result.allocators[i],
+                     "geo regime (log-uniform band, 2% huge)", "power"},
+                    result.rows[i]);
   }
 
   // Normalized view: cost / (eps^-1/2 * log2^2(1/eps)) should stay roughly
@@ -66,6 +72,7 @@ void run_tables() {
     std::cout << "  1/eps = " << Table::num(1 / r.eps, 5) << ": "
               << Table::num(r.mean_cost / norm, 4) << "\n";
   }
+  artifact.write();
 }
 
 }  // namespace

@@ -32,6 +32,13 @@ void run_tables() {
   // and indeed its cost stays O(1).  The floor binds the resizable ones.
   const std::vector<std::string> resizable{"folklore-compact", "rsum"};
 
+  BenchJson artifact("lower_bound");
+  artifact.set_seeds({1});
+  Json rec = series_record("lb_floor", "T4", "two-size-floor");
+  rec.set("workload",
+          "two-size sequence S (A = sqrt(eps) + 2eps, B = sqrt(eps))");
+  Json rows = Json::array();
+
   Table t({"1/eps", "n", "floor", "folklore-compact", "rsum",
            "windowed (non-resizable)", "min resizable ratio"});
   std::vector<double> log_inv, floors;
@@ -40,20 +47,30 @@ void run_tables() {
     std::vector<std::string> cells{Table::num(1.0 / eps, 6),
                                    std::to_string(spec.n),
                                    Table::num(spec.amortized_floor(), 4)};
+    Json row = Json::object();
+    row.set("inv_eps", 1.0 / eps)
+        .set("n", static_cast<std::uint64_t>(spec.n))
+        .set("floor", spec.amortized_floor());
     double min_ratio = 1e300;
     for (const auto& name : resizable) {
       const CertifiedRun run = run_certified_lower_bound(spec, name);
       cells.push_back(Table::num(run.measured_amortized_cost, 4));
       min_ratio = std::min(min_ratio, run.floor_ratio());
+      row.set(json_key(name), run.measured_amortized_cost);
     }
     const CertifiedRun win =
         run_certified_lower_bound(spec, "folklore-windowed");
     cells.push_back(Table::num(win.measured_amortized_cost, 4));
     cells.push_back(Table::num(min_ratio, 4));
+    row.set("windowed_nonresizable", win.measured_amortized_cost);
+    row.set("min_resizable_ratio", min_ratio);
+    rows.push(std::move(row));
     t.add_row(std::move(cells));
     log_inv.push_back(std::log2(1.0 / eps));
     floors.push_back(spec.amortized_floor());
   }
+  rec.set("rows", std::move(rows));
+  artifact.add(std::move(rec));
   std::cout << "\nMeasured amortized cost on S vs the certified floor:\n";
   t.print(std::cout);
   const LinearFit fit = fit_linear(log_inv, floors);
@@ -79,6 +96,22 @@ void run_tables() {
   m.add_row({"per-update drop <= moved items",
              run.potential_inequality_ok ? "yes" : "no"});
   m.print(std::cout);
+
+  Json mech = series_record("info", "T4", "potential-mechanics");
+  mech.set("workload", "potential mechanics at 1/eps = 4096 "
+                       "(folklore-compact)");
+  Json mech_rows = Json::array();
+  Json mech_row = Json::object();
+  mech_row.set("n", static_cast<std::uint64_t>(run.n))
+      .set("phi_final", run.phi_final)
+      .set("phi_conversion_gain", run.phi_conversion_gain)
+      .set("phi_allocator_drop", run.phi_allocator_drop)
+      .set("items_moved", static_cast<std::uint64_t>(run.items_moved))
+      .set("inequality_ok", run.potential_inequality_ok);
+  mech_rows.push(std::move(mech_row));
+  mech.set("rows", std::move(mech_rows));
+  artifact.add(std::move(mech));
+  artifact.write();
 }
 
 }  // namespace

@@ -37,6 +37,9 @@ void run_tables() {
     return make_random_item_sequence(c);
   };
 
+  BenchJson artifact("rsum");
+  artifact.set_seeds({1, 2, 3});
+
   ExperimentConfig c;
   c.allocator = "rsum";
   c.make_sequence = seq;
@@ -44,19 +47,20 @@ void run_tables() {
   c.seeds = 3;
   c.audit_every = 1024;
   const auto rows = run_experiment(c);
-  std::cout << "\nRSUM on delta-random sequences (delta = eps^3/4):\n";
-  rows_table("rsum", rows).print(std::cout);
-  print_fit("rsum (log model)", fit_cost_log(rows));
-  print_fit("rsum (power model)", fit_cost_exponent(rows));
+  emit_eps_series(artifact,
+                  {"T5", "random-item/rsum", "rsum",
+                   "delta-random sequences (delta = eps^3/4)", "both"},
+                  rows);
   std::cout << "(log model should fit with r^2 ~ 1 and the power exponent "
                "should be near 0: cost is logarithmic, not polynomial)\n";
 
   // Folklore comparison on the same sequences.
   ExperimentConfig fc = c;
   fc.allocator = "folklore-compact";
-  const auto frows = run_experiment(fc);
-  std::cout << "\nfolklore-compact on the same sequences:\n";
-  rows_table("folklore-compact", frows).print(std::cout);
+  emit_eps_series(artifact,
+                  {"T5", "random-item/folklore-compact", "folklore-compact",
+                   "the same delta-random sequences", "none"},
+                  run_experiment(fc));
 
   // Decision-time scaling: meet-in-the-middle is Theta(2^{m/2} * m) with
   // m = 2*ceil(log2(1/eps)/2), i.e. ~eps^-1/2 per compatibility check.
@@ -93,6 +97,9 @@ void run_tables() {
   bc.audit_every = 1024;
   // delta must be forwarded to the allocator too.
   // (run per eps since delta varies)
+  Json big = series_record("info", "T5", "big-delta");
+  big.set("workload", "Lemma 6.8 regime (delta = eps > eps/4)");
+  Json big_rows = Json::array();
   Table bt({"1/eps", "delta", "mean_cost", "max_cost"});
   for (double eps : bc.eps_values) {
     ExperimentConfig one = bc;
@@ -101,8 +108,17 @@ void run_tables() {
     const auto r = run_experiment(one);
     bt.add_row({Table::num(1 / eps, 5), Table::num(eps, 4),
                 Table::num(r[0].mean_cost, 4), Table::num(r[0].max_cost, 4)});
+    Json row = Json::object();
+    row.set("inv_eps", 1.0 / eps)
+        .set("delta", eps)
+        .set("mean_cost", r[0].mean_cost)
+        .set("max_cost", r[0].max_cost);
+    big_rows.push(std::move(row));
   }
   bt.print(std::cout);
+  big.set("rows", std::move(big_rows));
+  artifact.add(std::move(big));
+  artifact.write();
 }
 
 }  // namespace

@@ -76,12 +76,9 @@ Point measure(const std::string& allocator, const Sequence& seq,
   return p;
 }
 
-void add_point(BenchJson& artifact, const std::string& sweep,
-               const std::string& allocator, const Point& p) {
-  Json rec = Json::object();
-  rec.set("sweep", sweep)
-      .set("allocator", allocator)
-      .set("shards", static_cast<std::uint64_t>(p.shards))
+Json point_row(const Point& p) {
+  Json row = Json::object();
+  row.set("shards", static_cast<std::uint64_t>(p.shards))
       .set("threads", static_cast<std::uint64_t>(p.threads))
       .set("updates", static_cast<std::uint64_t>(p.stats.global.updates))
       .set("wall_seconds", p.stats.global.wall_seconds)
@@ -91,7 +88,7 @@ void add_point(BenchJson& artifact, const std::string& sweep,
       .set("imbalance", p.stats.imbalance())
       .set("fallback_routes",
            static_cast<std::uint64_t>(p.stats.fallback_routes));
-  artifact.add(std::move(rec));
+  return row;
 }
 
 void add_row(Table& t, const Point& p) {
@@ -108,20 +105,27 @@ void print_experiment() {
   const std::string allocator = "simple";
   const std::size_t updates = fast ? 4'000 : 40'000;
   BenchJson artifact("shard");
+  artifact.set_seeds({1});
 
   print_header("T-SHARD-S — shard scaling (all cores)",
                "Validated sharded churn: updates/sec vs shard count at "
                "full thread parallelism.");
   std::vector<std::size_t> shard_counts{1, 2, 4, 8};
   if (!fast) shard_counts.push_back(16);
+  Json shards_rec = series_record("shard_scaling", "T9", "shard-scaling");
+  shards_rec.set("allocator", allocator);
+  shards_rec.set("workload", "uniform churn, load 0.8, all cores");
+  Json shards_rows = Json::array();
   Table by_shards({"shards", "threads", "updates", "wall_s", "updates/s",
                    "mean_cost", "imbalance"});
   for (const std::size_t s : shard_counts) {
     const Sequence seq = shard_workload(allocator, s, updates, 1);
     const Point p = measure(allocator, seq, s, 0);
     add_row(by_shards, p);
-    add_point(artifact, "shards", allocator, p);
+    shards_rows.push(point_row(p));
   }
+  shards_rec.set("rows", std::move(shards_rows));
+  artifact.add(std::move(shards_rec));
   by_shards.print(std::cout);
 
   print_header("T-SHARD-T — thread scaling (S = 8)",
@@ -131,6 +135,10 @@ void print_experiment() {
   for (std::size_t t = 1; t < cores(); t *= 2) thread_counts.push_back(t);
   thread_counts.push_back(cores());
   const Sequence seq8 = shard_workload(allocator, 8, updates, 1);
+  Json threads_rec = series_record("shard_scaling", "T9", "thread-scaling");
+  threads_rec.set("allocator", allocator);
+  threads_rec.set("workload", "uniform churn, load 0.8, S = 8");
+  Json threads_rows = Json::array();
   Table by_threads({"shards", "threads", "updates", "wall_s", "updates/s",
                     "mean_cost", "imbalance"});
   double first_rate = 0.0;
@@ -138,10 +146,12 @@ void print_experiment() {
   for (const std::size_t t : thread_counts) {
     const Point p = measure(allocator, seq8, 8, t);
     add_row(by_threads, p);
-    add_point(artifact, "threads", allocator, p);
+    threads_rows.push(point_row(p));
     if (t == thread_counts.front()) first_rate = p.stats.updates_per_second();
     last_rate = p.stats.updates_per_second();
   }
+  threads_rec.set("rows", std::move(threads_rows));
+  artifact.add(std::move(threads_rec));
   by_threads.print(std::cout);
   std::cout << "1-thread -> all-cores speedup at S = 8: "
             << Table::num(last_rate / first_rate, 3) << "x over "

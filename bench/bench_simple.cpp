@@ -29,6 +29,9 @@ void run_tables() {
       "Claim: sizes in [eps, 2eps) => amortized update cost O(eps^-2/3); "
       "folklore is Theta(eps^-1) worst case.");
 
+  BenchJson artifact("simple");
+  artifact.set_seeds({1, 2, 3});
+
   ComparisonConfig c;
   c.allocators = {"folklore-compact", "simple"};
   c.make_sequence = [updates](double eps, std::uint64_t seed) {
@@ -43,8 +46,11 @@ void run_tables() {
   result.exponent_table().print(std::cout);
 
   for (std::size_t i = 0; i < result.allocators.size(); ++i) {
-    std::cout << "\nDetail: " << result.allocators[i] << "\n";
-    rows_table(result.allocators[i], result.rows[i]).print(std::cout);
+    emit_eps_series(artifact,
+                    {"T1", "churn-band/" + result.allocators[i],
+                     result.allocators[i],
+                     "churn with sizes in [eps, 2eps)", "power"},
+                    result.rows[i]);
   }
 
   // Theorem-bound check: SIMPLE mean cost under a generous constant times
@@ -58,6 +64,7 @@ void run_tables() {
                                                     : "  !!EXCEEDS!!  ")
               << Table::num(bound, 5) << "\n";
   }
+  artifact.write();
 }
 
 }  // namespace

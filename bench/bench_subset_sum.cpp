@@ -24,6 +24,13 @@ void run_tables() {
                "Claim: random m-sets contain an (m/2)-subset hitting a "
                "width-(log n)/n window with probability Omega(1).");
 
+  BenchJson artifact("subset_sum");
+  artifact.set_seeds({1337, 7331});
+  Json rec = series_record("success_rate", "T6", "half-cardinality");
+  rec.set("workload",
+          "random m-sets in [1, 2], window (log n)/n, exactly m/2 picks");
+  Json rows = Json::array();
+
   Table t({"m", "n = 2^m", "window/scale", "success rate",
            "decide_us/check"});
   const double scale = 1e12;
@@ -55,7 +62,16 @@ void run_tables() {
                Table::num(window_frac, 4),
                Table::num(static_cast<double>(hits) / trials, 3),
                Table::num(decide_us / trials, 4)});
+    Json row = Json::object();
+    row.set("m", static_cast<std::uint64_t>(m))
+        .set("n", n)
+        .set("window_frac", window_frac)
+        .set("rate", static_cast<double>(hits) / trials)
+        .set("decide_us", decide_us / trials);
+    rows.push(std::move(row));
   }
+  rec.set("rows", std::move(rows));
+  artifact.add(std::move(rec));
   t.print(std::cout);
   std::cout << "(success rate stays Omega(1) while the window shrinks "
                "geometrically; decide time doubles per +2 in m — the "
@@ -63,6 +79,9 @@ void run_tables() {
 
   // Cardinality ablation: unrestricted subsets succeed at least as often.
   std::cout << "\nAblation: any-cardinality subsets vs exactly m/2:\n";
+  Json abl = series_record("info", "T6", "cardinality-ablation");
+  abl.set("workload", "any-cardinality subsets vs exactly m/2");
+  Json abl_rows = Json::array();
   Table a({"m", "rate (m/2)", "rate (any)"});
   for (std::size_t m : {8u, 12u, 16u}) {
     Rng rng(m * 7331);
@@ -84,8 +103,16 @@ void run_tables() {
     a.add_row({std::to_string(m),
                Table::num(static_cast<double>(hits_half) / trials, 3),
                Table::num(static_cast<double>(hits_any) / trials, 3)});
+    Json row = Json::object();
+    row.set("m", static_cast<std::uint64_t>(m))
+        .set("rate_half", static_cast<double>(hits_half) / trials)
+        .set("rate_any", static_cast<double>(hits_any) / trials);
+    abl_rows.push(std::move(row));
   }
   a.print(std::cout);
+  abl.set("rows", std::move(abl_rows));
+  artifact.add(std::move(abl));
+  artifact.write();
 }
 
 }  // namespace

@@ -22,7 +22,13 @@ void run_tables() {
                "Claim: threshold randomization caps the probability that "
                "any fixed update pays for maintenance.");
 
+  BenchJson artifact("thresholds");
+  artifact.set_seeds({1000, 5000});
+
   std::cout << "\nLemma 4.3 (continuous):\n";
+  Json rec43 = series_record("bound_check", "T7", "lemma-4.3");
+  rec43.set("workload", "partial sums of U(W/2, W) vs window [a, b]");
+  Json rows43 = Json::array();
   Table t43({"W", "window b-a", "empirical P", "bound 4(b-a)/W"});
   const Tick W = 1'000'000;
   for (Tick width : {1'000u, 10'000u, 50'000u, 100'000u, 250'000u}) {
@@ -44,10 +50,23 @@ void run_tables() {
                  Table::num(static_cast<double>(hits) / trials, 4),
                  Table::num(4.0 * static_cast<double>(width) /
                                 static_cast<double>(W), 4)});
+    Json row = Json::object();
+    row.set("w", static_cast<std::uint64_t>(W))
+        .set("width", static_cast<std::uint64_t>(width))
+        .set("empirical", static_cast<double>(hits) / trials)
+        .set("bound",
+             4.0 * static_cast<double>(width) / static_cast<double>(W));
+    rows43.push(std::move(row));
   }
+  rec43.set("rows", std::move(rows43));
+  artifact.add(std::move(rec43));
   t43.print(std::cout);
 
   std::cout << "\nLemma 4.4 (discrete):\n";
+  Json rec44 = series_record("bound_check", "T7", "lemma-4.4");
+  rec44.set("workload",
+            "partial sums of U[ceil(N/4), ceil(N/3)] vs fixed y");
+  Json rows44 = Json::array();
   Table t44({"N", "empirical P", "bound 100/N", "ratio"});
   for (std::uint64_t n : {16u, 64u, 256u, 1024u}) {
     const std::uint64_t y = 40 * n;
@@ -67,10 +86,19 @@ void run_tables() {
     t44.add_row({std::to_string(n), Table::num(p, 5),
                  Table::num(100.0 / static_cast<double>(n), 5),
                  Table::num(p * static_cast<double>(n) / 100.0, 4)});
+    Json row = Json::object();
+    row.set("n", n)
+        .set("empirical", p)
+        .set("bound", 100.0 / static_cast<double>(n))
+        .set("ratio", p * static_cast<double>(n) / 100.0);
+    rows44.push(std::move(row));
   }
+  rec44.set("rows", std::move(rows44));
+  artifact.add(std::move(rec44));
   t44.print(std::cout);
   std::cout << "(empirical P sits well under both bounds; the discrete "
                "hit rate actually scales like ~3.6/N, far inside 100/N)\n";
+  artifact.write();
 }
 
 }  // namespace

@@ -98,6 +98,11 @@ void print_experiment() {
   Table t({"items", "none_us", "incremental_us", "full_audit_us",
            "audit/incremental"});
   BenchJson artifact("validation");
+  artifact.set_seeds({42});
+  Json rec = series_record("validation_speedup", "T-VAL",
+                           "incremental-vs-audit");
+  rec.set("workload", "steady-state churn (delete + equal-size replace)");
+  Json rows = Json::array();
   for (const std::size_t n : sizes) {
     const std::size_t light = fast ? 20'000 : 50'000;
     // The full audit is ~n per update; cap its total work instead of its
@@ -109,14 +114,16 @@ void print_experiment() {
     const double full = us_per_update(n, "full-audit", heavy);
     t.add_row({std::to_string(n), Table::num(none, 3), Table::num(inc, 3),
                Table::num(full, 3), Table::num(full / inc, 3)});
-    Json rec = Json::object();
-    rec.set("items", static_cast<std::uint64_t>(n))
+    Json row = Json::object();
+    row.set("items", static_cast<std::uint64_t>(n))
         .set("none_us", none)
         .set("incremental_us", inc)
         .set("full_audit_us", full)
         .set("audit_over_incremental", full / inc);
-    artifact.add(std::move(rec));
+    rows.push(std::move(row));
   }
+  rec.set("rows", std::move(rows));
+  artifact.add(std::move(rec));
   t.print(std::cout);
   std::cout << "(speedup must be >= 10x at n ~ 1e5; incremental_us should "
                "be flat in n up to the O(log n) index walk)\n";

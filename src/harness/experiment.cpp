@@ -111,6 +111,52 @@ LinearFit fit_cost_log(const std::vector<EpsRow>& rows) {
   return fit_linear(x, y);
 }
 
+Json eps_row_json(const EpsRow& row) {
+  Json j = Json::object();
+  j.set("eps", row.eps)
+      .set("seeds", static_cast<std::uint64_t>(row.seeds))
+      .set("updates", static_cast<std::uint64_t>(row.updates))
+      .set("mean_cost", row.mean_cost)
+      .set("mean_cost_stddev", row.mean_cost_stddev)
+      .set("ratio_cost", row.ratio_cost)
+      .set("max_cost", row.max_cost)
+      .set("p99_cost", row.p99_cost)
+      .set("decision_us_per_update", row.decision_us_per_update)
+      .set("wall_us_per_update", row.wall_us_per_update);
+  return j;
+}
+
+Json eps_rows_json(const std::vector<EpsRow>& rows) {
+  Json arr = Json::array();
+  for (const EpsRow& row : rows) arr.push(eps_row_json(row));
+  return arr;
+}
+
+EpsRow eps_row_from_json(const Json& row) {
+  EpsRow r;
+  r.eps = row.at("eps").as_double();
+  r.seeds = static_cast<std::size_t>(row.at("seeds").as_u64());
+  r.updates = static_cast<std::size_t>(row.at("updates").as_u64());
+  r.mean_cost = row.at("mean_cost").as_double();
+  r.mean_cost_stddev = row.at("mean_cost_stddev").as_double();
+  r.ratio_cost = row.at("ratio_cost").as_double();
+  r.max_cost = row.at("max_cost").as_double();
+  r.p99_cost = row.at("p99_cost").as_double();
+  r.decision_us_per_update = row.at("decision_us_per_update").as_double();
+  r.wall_us_per_update = row.at("wall_us_per_update").as_double();
+  return r;
+}
+
+std::vector<EpsRow> eps_rows_from_json(const Json& rows) {
+  std::vector<EpsRow> out;
+  out.reserve(rows.size());
+  for (const auto& [key, row] : rows.items()) {
+    (void)key;
+    out.push_back(eps_row_from_json(row));
+  }
+  return out;
+}
+
 Table rows_table(const std::string& allocator,
                  const std::vector<EpsRow>& rows) {
   Table t({"allocator", "eps", "1/eps", "updates", "mean_cost", "+-sd",

@@ -10,6 +10,7 @@
 #include "alloc/registry.h"
 #include "core/run_stats.h"
 #include "util/fit.h"
+#include "util/json.h"
 #include "util/table.h"
 #include "workload/sequence.h"
 
@@ -59,5 +60,14 @@ struct EpsRow {
 /// Renders rows with an allocator-name caption column.
 [[nodiscard]] Table rows_table(const std::string& allocator,
                                const std::vector<EpsRow>& rows);
+
+/// EpsRow <-> JSON: the row format inside schema-2 BENCH_*.json
+/// `eps_sweep` records.  `memreal_report` parses rows back with
+/// eps_rows_from_json and recomputes the fits above, so the artifact
+/// carries fit *inputs*, not just fitted numbers.
+[[nodiscard]] Json eps_row_json(const EpsRow& row);
+[[nodiscard]] Json eps_rows_json(const std::vector<EpsRow>& rows);
+[[nodiscard]] EpsRow eps_row_from_json(const Json& row);
+[[nodiscard]] std::vector<EpsRow> eps_rows_from_json(const Json& rows);
 
 }  // namespace memreal

@@ -1,0 +1,129 @@
+#include "report/bench_data.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace memreal::report {
+
+namespace {
+
+[[noreturn]] void file_error(const std::string& path,
+                             const std::string& what) {
+  throw ReportError(path + ": " + what);
+}
+
+}  // namespace
+
+std::vector<const Json*> BenchFile::records() const {
+  std::vector<const Json*> out;
+  const Json& records = doc.at("records");
+  out.reserve(records.size());
+  for (const auto& [key, rec] : records.items()) {
+    (void)key;
+    out.push_back(&rec);
+  }
+  return out;
+}
+
+const Json* BenchFile::find_series(const std::string& series) const {
+  for (const Json* rec : records()) {
+    const Json* s = rec->find("series");
+    if (s != nullptr && s->is_string() && s->as_string() == series) {
+      return rec;
+    }
+  }
+  return nullptr;
+}
+
+BenchFile load_bench_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) file_error(path, "cannot open file");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+
+  BenchFile f;
+  f.path = path;
+  try {
+    f.doc = Json::parse(buf.str());
+    const Json& schema = f.doc.at("schema");
+    if (!schema.is_uint() || schema.as_u64() != kBenchSchema) {
+      const std::string found =
+          schema.is_uint() ? std::to_string(schema.as_u64()) : "non-integer";
+      file_error(path, "stale artifact: schema " + found + ", need " +
+                           std::to_string(kBenchSchema) +
+                           " — re-run the bench to regenerate it");
+    }
+    f.bench = f.doc.at("bench").as_string();
+    f.git_describe = f.doc.at("git_describe").as_string();
+    f.fast_mode = f.doc.at("fast_mode").as_bool();
+    for (const auto& [key, seed] : f.doc.at("seeds").items()) {
+      (void)key;
+      f.seeds.push_back(seed.as_u64());
+    }
+    if (!f.doc.at("records").is_array()) {
+      file_error(path, "\"records\" is not an array");
+    }
+  } catch (const JsonParseError& e) {
+    file_error(path, e.what());
+  }
+  return f;
+}
+
+const BenchFile* BenchSet::find(const std::string& bench) const {
+  const auto it = by_bench.find(bench);
+  return it == by_bench.end() ? nullptr : &it->second;
+}
+
+std::vector<const Json*> BenchSet::records_for_claim(
+    const std::string& claim) const {
+  std::vector<const Json*> out;
+  for (const auto& [name, file] : by_bench) {
+    (void)name;
+    for (const Json* rec : file.records()) {
+      const Json* c = rec->find("claim");
+      if (c != nullptr && c->is_string() && c->as_string() == claim) {
+        out.push_back(rec);
+      }
+    }
+  }
+  return out;
+}
+
+BenchSet load_bench_dir(const std::string& dir) {
+  namespace fs = std::filesystem;
+  BenchSet set;
+  std::vector<std::string> paths;
+  try {
+    std::error_code ec;
+    for (const auto& entry : fs::directory_iterator(dir, ec)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string name = entry.path().filename().string();
+      if (name.rfind("BENCH_", 0) == 0 &&
+          name.size() > 11 &&  // BENCH_x.json
+          name.compare(name.size() - 5, 5, ".json") == 0) {
+        paths.push_back(entry.path().string());
+      }
+    }
+    if (ec) {
+      throw ReportError(dir + ": cannot list directory: " + ec.message());
+    }
+  } catch (const fs::filesystem_error& e) {
+    throw ReportError(dir + ": cannot list directory: " + e.what());
+  }
+  std::sort(paths.begin(), paths.end());  // deterministic load order
+  for (const std::string& path : paths) {
+    BenchFile f = load_bench_file(path);
+    const std::string bench = f.bench;
+    const auto [it, inserted] = set.by_bench.emplace(bench, std::move(f));
+    if (!inserted) {
+      throw ReportError(path + ": bench \"" + bench +
+                        "\" already loaded from " + it->second.path +
+                        " — remove the stale artifact");
+    }
+  }
+  return set;
+}
+
+}  // namespace memreal::report

@@ -1,0 +1,63 @@
+// Loading BENCH_*.json artifacts back into memory.
+//
+// The benches emit schema-2 documents (see bench/bench_common.h): every
+// file is {bench, schema: 2, git_describe, fast_mode, seeds, records} and
+// every record is {kind, claim, series, ..., rows: [...]}.  This layer
+// parses them via util/json, rejects stale schemas with a clear error,
+// and gives the verdict/markdown layers keyed access to records.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+namespace memreal::report {
+
+/// Thrown when an artifact cannot be used: unreadable file, malformed
+/// JSON, wrong schema version, or a record missing required fields.  The
+/// message always names the offending file.
+class ReportError : public std::runtime_error {
+ public:
+  explicit ReportError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// The schema version this report layer understands; bench/bench_common.h
+/// emits the same number (BenchJson::kSchema).
+inline constexpr std::uint64_t kBenchSchema = 2;
+
+struct BenchFile {
+  std::string path;
+  std::string bench;  ///< "folklore", "shard", ... (BENCH_<bench>.json)
+  std::string git_describe;
+  bool fast_mode = false;
+  std::vector<std::uint64_t> seeds;
+  Json doc;  ///< the full parsed document (records live in doc["records"])
+
+  /// All records, in file order.
+  [[nodiscard]] std::vector<const Json*> records() const;
+  /// The record with the given `series` name, or nullptr.
+  [[nodiscard]] const Json* find_series(const std::string& series) const;
+};
+
+/// Parses one artifact.  Throws ReportError on anything unusable —
+/// including a schema version other than kBenchSchema ("stale artifact,
+/// re-run the bench").
+[[nodiscard]] BenchFile load_bench_file(const std::string& path);
+
+/// The artifacts of one bench run, keyed by bench name.
+struct BenchSet {
+  std::map<std::string, BenchFile> by_bench;
+
+  [[nodiscard]] const BenchFile* find(const std::string& bench) const;
+  /// Records across all files whose "claim" equals `claim`, file order.
+  [[nodiscard]] std::vector<const Json*> records_for_claim(
+      const std::string& claim) const;
+};
+
+/// Loads every BENCH_*.json in `dir` (non-recursive).  Unreadable or
+/// stale files throw; an empty directory yields an empty set.
+[[nodiscard]] BenchSet load_bench_dir(const std::string& dir);
+
+}  // namespace memreal::report

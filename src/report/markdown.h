@@ -1,0 +1,45 @@
+// Markdown generation for the reproduction report.
+//
+// Two outputs share the same claim blocks: docs/REPORT.md (fully
+// generated) and EXPERIMENTS.md, where each claim's tables live between
+//   <!-- memreal_report:begin <id> -->  /  <!-- memreal_report:end <id> -->
+// markers that `memreal_report` rewrites in place.  Rendering is a pure
+// function of the loaded artifacts, so re-running on the same BENCH
+// files is a byte-identical no-op.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "report/bench_data.h"
+#include "report/verdict.h"
+
+namespace memreal::report {
+
+/// The marker pair wrapping a claim's generated block in EXPERIMENTS.md.
+[[nodiscard]] std::string begin_marker(const std::string& claim_id);
+[[nodiscard]] std::string end_marker(const std::string& claim_id);
+
+/// One claim's generated markdown: verdict line, source line, one table
+/// (+ recomputed fits) per record, and the rule-check list.
+[[nodiscard]] std::string render_claim_block(const BenchSet& set,
+                                             const ClaimResult& result);
+
+/// The full docs/REPORT.md: verdict summary, provenance, claim blocks.
+[[nodiscard]] std::string render_report(const BenchSet& set,
+                                        const std::vector<ClaimResult>& rs);
+
+struct MarkerRewrite {
+  std::string text;                     ///< the rewritten document
+  std::vector<std::string> rewritten;   ///< claim ids whose blocks updated
+  std::vector<std::string> unmatched;   ///< ids with no marker in the doc
+};
+
+/// Replaces the text between each claim's marker pair with its block.
+/// A begin marker without its end marker throws ReportError; ids whose
+/// markers are absent are reported in `unmatched` and left untouched.
+[[nodiscard]] MarkerRewrite rewrite_marker_blocks(
+    const std::string& text, const std::map<std::string, std::string>& blocks);
+
+}  // namespace memreal::report

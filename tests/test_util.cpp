@@ -469,6 +469,96 @@ TEST(Json, SetOnNonObjectThrows) {
   EXPECT_THROW(obj.push(1), InvariantViolation);
 }
 
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_TRUE(Json::parse("true").as_bool());
+  EXPECT_FALSE(Json::parse("false").as_bool());
+  EXPECT_EQ(Json::parse("42").as_u64(), 42u);
+  EXPECT_TRUE(Json::parse("42").is_uint());
+  EXPECT_DOUBLE_EQ(Json::parse("-3.5").as_double(), -3.5);
+  EXPECT_FALSE(Json::parse("-1").is_uint());  // negatives become doubles
+  EXPECT_DOUBLE_EQ(Json::parse("1e3").as_double(), 1000.0);
+  EXPECT_EQ(Json::parse("\"hi\\n\\\"there\\\"\"").as_string(),
+            "hi\n\"there\"");
+  EXPECT_EQ(Json::parse("\"\\u0041\\u00e9\"").as_string(), "A\xc3\xa9");
+}
+
+TEST(Json, ParsesNestedStructures) {
+  const Json doc =
+      Json::parse("{\"a\": [1, 2.5, {\"b\": null}], \"c\": \"x\"}");
+  EXPECT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.at("a").size(), 3u);
+  EXPECT_EQ(doc.at("a").at(0).as_u64(), 1u);
+  EXPECT_DOUBLE_EQ(doc.at("a").at(1).as_double(), 2.5);
+  EXPECT_TRUE(doc.at("a").at(2).at("b").is_null());
+  EXPECT_EQ(doc.at("c").as_string(), "x");
+  EXPECT_EQ(doc.find("missing"), nullptr);
+  EXPECT_THROW(doc.at("missing"), JsonParseError);
+  EXPECT_THROW(doc.at("a").at(3), JsonParseError);
+}
+
+TEST(Json, DumpParseRoundTripsExactly) {
+  Json doc = Json::object();
+  doc.set("bench", "shard")
+      .set("schema", std::uint64_t{2})
+      .set("big", (std::uint64_t{1} << 60) + 7)
+      .set("x", 0.1)
+      .set("flag", false)
+      .set("nothing", Json());
+  Json arr = Json::array();
+  arr.push(1.5).push("s").push(std::uint64_t{3});
+  doc.set("arr", std::move(arr));
+  for (const int indent : {0, 2}) {
+    const std::string s = doc.dump(indent);
+    EXPECT_EQ(Json::parse(s).dump(indent), s);
+  }
+}
+
+TEST(Json, ParseRejectsMalformedInput) {
+  EXPECT_THROW(Json::parse(""), JsonParseError);
+  EXPECT_THROW(Json::parse("{\"a\": 1,}"), JsonParseError);
+  EXPECT_THROW(Json::parse("[1, 2"), JsonParseError);
+  EXPECT_THROW(Json::parse("\"unterminated"), JsonParseError);
+  EXPECT_THROW(Json::parse("{\"a\" 1}"), JsonParseError);
+  EXPECT_THROW(Json::parse("tru"), JsonParseError);
+  EXPECT_THROW(Json::parse("1 2"), JsonParseError);  // trailing garbage
+  EXPECT_THROW(Json::parse("nan"), JsonParseError);
+}
+
+TEST(Json, ParseEnforcesStrictNumberGrammar) {
+  EXPECT_THROW(Json::parse(".5"), JsonParseError);
+  EXPECT_THROW(Json::parse("1."), JsonParseError);
+  EXPECT_THROW(Json::parse("007"), JsonParseError);
+  EXPECT_THROW(Json::parse("0123"), JsonParseError);
+  EXPECT_THROW(Json::parse("+1"), JsonParseError);
+  EXPECT_THROW(Json::parse("1e"), JsonParseError);
+  EXPECT_THROW(Json::parse("1e+"), JsonParseError);
+  EXPECT_THROW(Json::parse("1e999"), JsonParseError);  // out of range
+  EXPECT_DOUBLE_EQ(Json::parse("0.5").as_double(), 0.5);
+  EXPECT_EQ(Json::parse("0").as_u64(), 0u);
+  // Integers above 2^64 - 1 are representable only as doubles.
+  EXPECT_TRUE(Json::parse("20000000000000000000").is_number());
+  EXPECT_FALSE(Json::parse("20000000000000000000").is_uint());
+}
+
+TEST(Json, ParseErrorNamesLineAndColumn) {
+  try {
+    Json::parse("{\n  \"a\": @\n}");
+    FAIL() << "expected JsonParseError";
+  } catch (const JsonParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Json, AccessorsRejectWrongKinds) {
+  const Json doc = Json::parse("{\"s\": \"x\", \"n\": 1.5}");
+  EXPECT_THROW(doc.at("s").as_double(), JsonParseError);
+  EXPECT_THROW(doc.at("n").as_u64(), JsonParseError);  // not integral
+  EXPECT_THROW(doc.at("n").as_string(), JsonParseError);
+  EXPECT_THROW(doc.at("s").find("k"), JsonParseError);
+  EXPECT_DOUBLE_EQ(Json::parse("7").as_double(), 7.0);  // uint as double ok
+}
+
 // -- check ----------------------------------------------------------------
 
 TEST(Check, ThrowsWithMessage) {
