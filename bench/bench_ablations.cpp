@@ -13,6 +13,7 @@
 #include "alloc/rsum.h"
 #include "alloc/simple.h"
 #include "bench_common.h"
+#include "mem/memory.h"
 #include "workload/adversarial.h"
 #include "workload/churn.h"
 #include "workload/random_item.h"

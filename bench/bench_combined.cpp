@@ -7,6 +7,7 @@
 //     measured as (mass moved by rotations) / (external update size).
 #include "alloc/flexhash.h"
 #include "bench_common.h"
+#include "mem/memory.h"
 #include "util/rng.h"
 #include "workload/adversarial.h"
 

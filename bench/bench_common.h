@@ -21,6 +21,7 @@
 #include "core/engine.h"
 #include "harness/experiment.h"
 #include "harness/sweep.h"
+#include "mem/memory.h"
 #include "util/json.h"
 #include "util/table.h"
 

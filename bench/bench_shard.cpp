@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "harness/cell.h"
 #include "shard/sharded_engine.h"
 #include "workload/churn.h"
 
@@ -30,18 +31,25 @@ namespace {
 constexpr double kEps = 1.0 / 64;
 constexpr Tick kShardCapacity = Tick{1} << 34;
 
+/// T-REL runs its cell denser (~550 live items vs ~34 at kEps) so the
+/// head-to-head measures what the release engine removes — per-update
+/// validation work, which scales with moved mass — rather than the fixed
+/// per-update engine overhead that dominates a near-empty cell.
+constexpr double kRelEps = 1.0 / 1024;
+
 std::size_t cores() {
   return std::max<std::size_t>(1, std::thread::hardware_concurrency());
 }
 
 Sequence shard_workload(const std::string& allocator, std::size_t shards,
-                        std::size_t updates, std::uint64_t seed) {
+                        std::size_t updates, std::uint64_t seed,
+                        double eps = kEps) {
   const AllocatorInfo info = allocator_info(allocator);
   ChurnConfig c;
   c.capacity = kShardCapacity * shards;
-  c.eps = kEps;
-  c.min_size = info.sizes.min_size(kEps, kShardCapacity);
-  c.max_size = info.sizes.max_size(kEps, kShardCapacity) - 1;
+  c.eps = eps;
+  c.min_size = info.sizes.min_size(eps, kShardCapacity);
+  c.max_size = info.sizes.max_size(eps, kShardCapacity) - 1;
   c.target_load = 0.8;
   c.churn_updates = updates;
   c.seed = seed;
@@ -49,14 +57,17 @@ Sequence shard_workload(const std::string& allocator, std::size_t shards,
 }
 
 ShardedConfig shard_config(const std::string& allocator, std::size_t shards,
-                           std::size_t threads) {
+                           std::size_t threads,
+                           const std::string& engine = "validated",
+                           double eps = kEps) {
   ShardedConfig c;
+  c.engine = engine;
   c.allocator = allocator;
-  c.params.eps = kEps;
+  c.params.eps = eps;
   c.params.seed = 1;
   c.shards = shards;
   c.shard_capacity = kShardCapacity;
-  c.eps = kEps;
+  c.eps = eps;
   c.threads = threads;
   c.batch_size = 4'096;
   return c;
@@ -69,8 +80,11 @@ struct Point {
 };
 
 Point measure(const std::string& allocator, const Sequence& seq,
-              std::size_t shards, std::size_t threads) {
-  ShardedEngine engine(shard_config(allocator, shards, threads));
+              std::size_t shards, std::size_t threads,
+              const std::string& engine_name = "validated",
+              double eps = kEps) {
+  ShardedEngine engine(
+      shard_config(allocator, shards, threads, engine_name, eps));
   Point p{shards, engine.thread_count(), engine.run(seq)};
   engine.audit();
   return p;
@@ -156,6 +170,45 @@ void print_experiment() {
   std::cout << "1-thread -> all-cores speedup at S = 8: "
             << Table::num(last_rate / first_rate, 3) << "x over "
             << cores() << " core(s)\n";
+
+  print_header("T-REL — engine throughput (S = 1, single thread)",
+               "Churn on one dense cell (eps = 1/1024, ~550 live items): "
+               "the unchecked release engine (slab store, no per-update "
+               "validation) vs the validated engine, updates/sec head to "
+               "head.");
+  const Sequence seq1 = shard_workload(allocator, 1, updates, 1, kRelEps);
+  Json rel_rec = series_record("engine_throughput", "T-REL",
+                               "engine-throughput");
+  rel_rec.set("allocator", allocator);
+  rel_rec.set("workload",
+              "uniform churn, load 0.8, eps 1/1024, S = 1, 1 thread");
+  Json rel_rows = Json::array();
+  Table by_engine({"engine", "shards", "threads", "updates", "wall_s",
+                   "updates/s", "mean_cost", "imbalance"});
+  double validated_rate = 0.0;
+  double release_rate = 0.0;
+  for (const std::string engine : engine_names()) {
+    const Point p = measure(allocator, seq1, 1, 1, engine, kRelEps);
+    by_engine.add_row({engine, std::to_string(p.shards),
+                       std::to_string(p.threads),
+                       std::to_string(p.stats.global.updates),
+                       Table::num(p.stats.global.wall_seconds, 4),
+                       Table::num(p.stats.updates_per_second(), 6),
+                       Table::num(p.stats.global.mean_cost(), 4),
+                       Table::num(p.stats.imbalance(), 3)});
+    Json row = point_row(p);
+    row.set("engine", engine);
+    rel_rows.push(std::move(row));
+    if (engine == "validated") validated_rate = p.stats.updates_per_second();
+    if (engine == "release") release_rate = p.stats.updates_per_second();
+  }
+  rel_rec.set("rows", std::move(rel_rows));
+  artifact.add(std::move(rel_rec));
+  by_engine.print(std::cout);
+  std::cout << "release / validated updates-per-second ratio at S = 1: "
+            << Table::num(validated_rate > 0 ? release_rate / validated_rate
+                                             : 0.0, 3)
+            << "x\n";
 
   artifact.write();
 }

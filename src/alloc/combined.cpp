@@ -7,7 +7,7 @@
 
 namespace memreal {
 
-CombinedAllocator::CombinedAllocator(Memory& mem,
+CombinedAllocator::CombinedAllocator(LayoutStore& mem,
                                      const CombinedConfig& config)
     : mem_(&mem) {
   const double eps = config.eps;

@@ -18,7 +18,7 @@
 #include "alloc/flexhash.h"
 #include "alloc/geo.h"
 #include "core/allocator.h"
-#include "mem/memory.h"
+#include "core/layout_store.h"
 
 namespace memreal {
 
@@ -29,7 +29,7 @@ struct CombinedConfig {
 
 class CombinedAllocator final : public Allocator {
  public:
-  CombinedAllocator(Memory& mem, const CombinedConfig& config);
+  CombinedAllocator(LayoutStore& mem, const CombinedConfig& config);
 
   void insert(ItemId id, Tick size) override;
   void erase(ItemId id) override;
@@ -42,7 +42,7 @@ class CombinedAllocator final : public Allocator {
   [[nodiscard]] Tick large_mass() const { return large_mass_; }
 
  private:
-  Memory* mem_;
+  LayoutStore* mem_;
   Tick tiny_thr_;  ///< eps^4 * capacity: larger goes to GEO
   Tick half_eps_ticks_;
   std::unique_ptr<GeoAllocator> geo_;

@@ -7,7 +7,7 @@
 
 namespace memreal {
 
-DiscreteAllocator::DiscreteAllocator(Memory& mem,
+DiscreteAllocator::DiscreteAllocator(LayoutStore& mem,
                                      const DiscreteConfig& config)
     : mem_(&mem), config_(config) {
   MEMREAL_CHECK(config_.max_distinct_sizes >= 1);

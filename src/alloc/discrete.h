@@ -29,7 +29,7 @@
 #include <vector>
 
 #include "core/allocator.h"
-#include "mem/memory.h"
+#include "core/layout_store.h"
 
 namespace memreal {
 
@@ -44,7 +44,7 @@ struct DiscreteConfig {
 
 class DiscreteAllocator final : public Allocator {
  public:
-  DiscreteAllocator(Memory& mem, const DiscreteConfig& config = {});
+  DiscreteAllocator(LayoutStore& mem, const DiscreteConfig& config = {});
 
   void insert(ItemId id, Tick size) override;
   void erase(ItemId id) override;
@@ -65,7 +65,7 @@ class DiscreteAllocator final : public Allocator {
   void maybe_rebuild();
   void apply_layout(std::size_t from);
 
-  Memory* mem_;
+  LayoutStore* mem_;
   DiscreteConfig config_;
 
   std::vector<ItemId> order_;  ///< left-to-right; covering set is a suffix

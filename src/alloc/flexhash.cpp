@@ -7,7 +7,7 @@
 
 namespace memreal {
 
-FlexHashAllocator::FlexHashAllocator(Memory& mem,
+FlexHashAllocator::FlexHashAllocator(LayoutStore& mem,
                                      const FlexHashConfig& config)
     : mem_(&mem), rng_(config.seed), region_start_(config.region_start) {
   const double eps = config.eps;

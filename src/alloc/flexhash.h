@@ -30,7 +30,7 @@
 
 #include "alloc/tinyslab.h"
 #include "core/allocator.h"
-#include "mem/memory.h"
+#include "core/layout_store.h"
 #include "util/rng.h"
 
 namespace memreal {
@@ -46,7 +46,7 @@ struct FlexHashConfig {
 
 class FlexHashAllocator final : public Allocator, public UnitSpace {
  public:
-  FlexHashAllocator(Memory& mem, const FlexHashConfig& config);
+  FlexHashAllocator(LayoutStore& mem, const FlexHashConfig& config);
 
   // -- internal (tiny) updates ---------------------------------------------
   void insert(ItemId id, Tick size) override;
@@ -91,7 +91,7 @@ class FlexHashAllocator final : public Allocator, public UnitSpace {
   void restore_buffer(std::size_t type, long long target);
   void bulk_shift(std::size_t type, long long delta_units);
 
-  Memory* mem_;
+  LayoutStore* mem_;
   Rng rng_;
   std::unique_ptr<TinySlabAllocator> tiny_;
   Tick M_ = 0;

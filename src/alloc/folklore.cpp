@@ -9,7 +9,7 @@ namespace memreal {
 namespace {
 
 /// Binary-searches `order` (sorted by offset in `mem`) for the index of id.
-std::size_t index_of(const Memory& mem, const std::vector<ItemId>& order,
+std::size_t index_of(const LayoutStore& mem, const std::vector<ItemId>& order,
                      ItemId id) {
   const Tick off = mem.offset_of(id);
   auto it = std::lower_bound(order.begin(), order.end(), off,
@@ -27,7 +27,7 @@ std::size_t index_of(const Memory& mem, const std::vector<ItemId>& order,
 // FolkloreCompact
 // ---------------------------------------------------------------------------
 
-FolkloreCompact::FolkloreCompact(Memory& mem) : mem_(&mem) {}
+FolkloreCompact::FolkloreCompact(LayoutStore& mem) : mem_(&mem) {}
 
 Tick FolkloreCompact::waste() const {
   if (order_.empty()) return 0;
@@ -88,7 +88,7 @@ void FolkloreCompact::check_invariants() const {
 // FolkloreWindowed
 // ---------------------------------------------------------------------------
 
-FolkloreWindowed::FolkloreWindowed(Memory& mem) : mem_(&mem) {
+FolkloreWindowed::FolkloreWindowed(LayoutStore& mem) : mem_(&mem) {
   mem_->policy().check_resizable_bound = false;
 }
 

@@ -21,13 +21,13 @@
 #include <vector>
 
 #include "core/allocator.h"
-#include "mem/memory.h"
+#include "core/layout_store.h"
 
 namespace memreal {
 
 class FolkloreCompact final : public Allocator {
  public:
-  explicit FolkloreCompact(Memory& mem);
+  explicit FolkloreCompact(LayoutStore& mem);
 
   void insert(ItemId id, Tick size) override;
   void erase(ItemId id) override;
@@ -43,14 +43,14 @@ class FolkloreCompact final : public Allocator {
   void compact();
   [[nodiscard]] Tick waste() const;
 
-  Memory* mem_;
+  LayoutStore* mem_;
   std::vector<ItemId> order_;  ///< sorted by offset
   std::size_t compactions_ = 0;
 };
 
 class FolkloreWindowed final : public Allocator {
  public:
-  explicit FolkloreWindowed(Memory& mem);
+  explicit FolkloreWindowed(LayoutStore& mem);
 
   void insert(ItemId id, Tick size) override;
   void erase(ItemId id) override;
@@ -69,7 +69,7 @@ class FolkloreWindowed final : public Allocator {
   /// Places `size` ticks by compacting a window with >= 2*size free space.
   Tick windowed_place(Tick size);
 
-  Memory* mem_;
+  LayoutStore* mem_;
   std::vector<ItemId> order_;  ///< sorted by offset
   std::size_t windowed_inserts_ = 0;
 };

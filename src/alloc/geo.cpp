@@ -8,7 +8,7 @@
 
 namespace memreal {
 
-GeoAllocator::GeoAllocator(Memory& mem, const GeoConfig& config)
+GeoAllocator::GeoAllocator(LayoutStore& mem, const GeoConfig& config)
     : mem_(&mem),
       eps_(config.eps),
       rng_(config.seed),

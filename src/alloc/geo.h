@@ -36,7 +36,7 @@
 #include <vector>
 
 #include "core/allocator.h"
-#include "mem/memory.h"
+#include "core/layout_store.h"
 #include "util/rng.h"
 
 namespace memreal {
@@ -52,7 +52,7 @@ struct GeoConfig {
 
 class GeoAllocator final : public Allocator {
  public:
-  GeoAllocator(Memory& mem, const GeoConfig& config);
+  GeoAllocator(LayoutStore& mem, const GeoConfig& config);
 
   void insert(ItemId id, Tick size) override;
   void erase(ItemId id) override;
@@ -90,7 +90,7 @@ class GeoAllocator final : public Allocator {
   void bump_counters_and_rebuild(std::size_t cls, bool is_insert);
   [[nodiscard]] std::uint64_t sample_threshold(std::uint64_t c);
 
-  Memory* mem_;
+  LayoutStore* mem_;
   double eps_;
   Tick eps_t_;
   Tick cap_;

@@ -58,41 +58,41 @@ const std::vector<Entry>& builtin_entries() {
 
     e.push_back({{"folklore-compact", band, {4.0, 1.0}, 1.0 / 64, 0.0,
                   /*universal=*/true, true},
-                 [](Memory& mem, const AllocatorParams&) {
+                 [](LayoutStore& mem, const AllocatorParams&) {
                    return std::make_unique<FolkloreCompact>(mem);
                  }});
     e.push_back({{"folklore-windowed", band, {4.0, 1.0}, 1.0 / 64, 0.0,
                   /*universal=*/true, true},
-                 [](Memory& mem, const AllocatorParams&) {
+                 [](LayoutStore& mem, const AllocatorParams&) {
                    return std::make_unique<FolkloreWindowed>(mem);
                  }});
     e.push_back({{"simple", band, {8.0, 0.75}, 1.0 / 64, 0.0, false, true},
-                 [](Memory& mem, const AllocatorParams& p) {
+                 [](LayoutStore& mem, const AllocatorParams& p) {
                    return std::make_unique<SimpleAllocator>(mem, p.eps);
                  }});
     e.push_back({{"geo", geo_band, {16.0, 0.5}, 1.0 / 64, 0.0, false, true},
-                 [](Memory& mem, const AllocatorParams& p) {
+                 [](LayoutStore& mem, const AllocatorParams& p) {
                    GeoConfig c;
                    c.eps = p.eps;
                    c.seed = p.seed;
                    return std::make_unique<GeoAllocator>(mem, c);
                  }});
     e.push_back({{"tinyslab", tiny, {32.0, 0.5}, 1.0 / 32, 0.0, false, true},
-                 [](Memory& mem, const AllocatorParams& p) {
+                 [](LayoutStore& mem, const AllocatorParams& p) {
                    TinySlabConfig c;
                    c.eps = p.eps;
                    c.seed = p.seed;
                    return std::make_unique<TinySlabAllocator>(mem, c);
                  }});
     e.push_back({{"flexhash", tiny, {32.0, 0.5}, 1.0 / 32, 0.0, false, true},
-                 [](Memory& mem, const AllocatorParams& p) {
+                 [](LayoutStore& mem, const AllocatorParams& p) {
                    FlexHashConfig c;
                    c.eps = p.eps;
                    c.seed = p.seed;
                    return std::make_unique<FlexHashAllocator>(mem, c);
                  }});
     e.push_back({{"combined", mixed, {32.0, 0.5}, 1.0 / 32, 0.0, false, true},
-                 [](Memory& mem, const AllocatorParams& p) {
+                 [](LayoutStore& mem, const AllocatorParams& p) {
                    CombinedConfig c;
                    c.eps = p.eps;
                    c.seed = p.seed;
@@ -100,7 +100,7 @@ const std::vector<Entry>& builtin_entries() {
                  }});
     e.push_back({{"rsum", rsum_band, {16.0, 0.5}, 1.0 / 256, 0.0, false,
                   true},
-                 [](Memory& mem, const AllocatorParams& p) {
+                 [](LayoutStore& mem, const AllocatorParams& p) {
                    RSumConfig c;
                    c.eps = p.eps;
                    c.delta = p.delta;
@@ -109,7 +109,7 @@ const std::vector<Entry>& builtin_entries() {
                  }});
     e.push_back({{"discrete", palette, {32.0, 0.5}, 1.0 / 64, 0.0, false,
                   true},
-                 [](Memory& mem, const AllocatorParams&) {
+                 [](LayoutStore& mem, const AllocatorParams&) {
                    return std::make_unique<DiscreteAllocator>(mem);
                  }});
     return e;
@@ -198,7 +198,7 @@ void unregister_allocator(const std::string& name) {
 }
 
 std::unique_ptr<Allocator> make_allocator(const std::string& name,
-                                          Memory& mem,
+                                          LayoutStore& mem,
                                           const AllocatorParams& params) {
   return allocator_factory(name)(mem, params);
 }

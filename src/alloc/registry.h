@@ -19,7 +19,7 @@
 #include <vector>
 
 #include "core/allocator.h"
-#include "mem/memory.h"
+#include "core/layout_store.h"
 
 namespace memreal {
 
@@ -31,7 +31,7 @@ struct AllocatorParams {
 };
 
 using AllocatorFactory =
-    std::function<std::unique_ptr<Allocator>(Memory&, const AllocatorParams&)>;
+    std::function<std::unique_ptr<Allocator>(LayoutStore&, const AllocatorParams&)>;
 
 /// The item-size band an allocator guarantees to serve, as a function of
 /// eps: sizes (as fractions of capacity) in
@@ -106,6 +106,6 @@ void unregister_allocator(const std::string& name);
 
 /// Convenience: construct by name.
 [[nodiscard]] std::unique_ptr<Allocator> make_allocator(
-    const std::string& name, Memory& mem, const AllocatorParams& params);
+    const std::string& name, LayoutStore& mem, const AllocatorParams& params);
 
 }  // namespace memreal

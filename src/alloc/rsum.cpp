@@ -15,7 +15,7 @@ namespace {
 using Clock = std::chrono::steady_clock;
 }
 
-RSumAllocator::RSumAllocator(Memory& mem, const RSumConfig& config)
+RSumAllocator::RSumAllocator(LayoutStore& mem, const RSumConfig& config)
     : mem_(&mem), rng_(config.seed), eps_(config.eps) {
   MEMREAL_CHECK(eps_ > 0 && eps_ < 0.5);
   delta_ = config.delta == 0.0 ? std::pow(eps_, 0.75) : config.delta;

@@ -30,7 +30,7 @@
 #include <vector>
 
 #include "core/allocator.h"
-#include "mem/memory.h"
+#include "core/layout_store.h"
 #include "util/rng.h"
 
 namespace memreal {
@@ -46,7 +46,7 @@ struct RSumConfig {
 
 class RSumAllocator final : public Allocator {
  public:
-  RSumAllocator(Memory& mem, const RSumConfig& config);
+  RSumAllocator(LayoutStore& mem, const RSumConfig& config);
 
   void insert(ItemId id, Tick size) override;
   void erase(ItemId id) override;
@@ -118,7 +118,7 @@ class RSumAllocator final : public Allocator {
   void resample_r();
   [[nodiscard]] std::optional<std::size_t> rightmost_valid() const;
 
-  Memory* mem_;
+  LayoutStore* mem_;
   Rng rng_;
   double eps_;
   double delta_;

@@ -8,7 +8,7 @@
 
 namespace memreal {
 
-SimpleAllocator::SimpleAllocator(Memory& mem, double eps) : mem_(&mem) {
+SimpleAllocator::SimpleAllocator(LayoutStore& mem, double eps) : mem_(&mem) {
   MEMREAL_CHECK(eps > 0 && eps < 1);
   eps_t_ = mem_->eps_ticks();
   const auto cap_d = static_cast<double>(mem_->capacity());
@@ -44,55 +44,68 @@ std::size_t SimpleAllocator::size_class_of(Tick size) const {
 }
 
 bool SimpleAllocator::in_covering(ItemId id) const {
-  auto it = pos_.find(id);
-  MEMREAL_CHECK(it != pos_.end());
-  return it->second >= covering_begin_;
+  const std::size_t* p = pos_.find(id);
+  MEMREAL_CHECK(p != nullptr);
+  return *p >= covering_begin_;
 }
 
 void SimpleAllocator::apply_layout(std::size_t from) {
-  Tick off = from == 0 ? 0 : mem_->end_of(order_[from - 1]);
-  for (std::size_t k = from; k < order_.size(); ++k) {
-    mem_->move_to(order_[k], off);
-    pos_[order_[k]] = k;
-    off += mem_->extent_of(order_[k]);
-  }
+  const Tick off = from == 0 ? 0 : mem_->end_of(order_[from - 1]);
+  mem_->apply_run(std::span<const ItemId>(order_).subspan(from), off);
+  for (std::size_t k = from; k < order_.size(); ++k) pos_[order_[k]] = k;
 }
 
 void SimpleAllocator::rebuild() {
   ++rebuilds_;
   // Step 1: revert logical inflation.
-  for (ItemId id : order_) mem_->reset_extent(id);
+  mem_->reset_extents(order_);
 
   // Step 2: group by size class, pick the smallest min(x_i, period) of
-  // each class as the covering set S.
-  std::vector<std::vector<ItemId>> by_class(num_classes_);
-  for (ItemId id : order_) {
-    by_class[size_class_of(mem_->size_of(id))].push_back(id);
+  // each class as the covering set S.  Classes hold positions into order_
+  // and sort by (size, id) — identical selection to sorting ids directly.
+  const std::size_t n = order_.size();
+  if (by_class_.size() != num_classes_) by_class_.resize(num_classes_);
+  for (auto& cls : by_class_) cls.clear();
+  for (std::size_t k = 0; k < n; ++k) {
+    by_class_[classes_[k]].push_back(static_cast<std::uint32_t>(k));
   }
-  std::vector<char> covering(order_.size(), 0);
-  std::unordered_map<ItemId, char> in_s;
-  for (auto& cls : by_class) {
-    std::sort(cls.begin(), cls.end(), [&](ItemId a, ItemId b) {
-      const Tick sa = mem_->size_of(a);
-      const Tick sb = mem_->size_of(b);
-      return sa != sb ? sa < sb : a < b;
-    });
+  covered_.assign(n, 0);
+  for (auto& cls : by_class_) {
+    std::sort(cls.begin(), cls.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                return sizes_[a] != sizes_[b] ? sizes_[a] < sizes_[b]
+                                              : order_[a] < order_[b];
+              });
     const std::size_t take = std::min(cls.size(), period_);
-    for (std::size_t k = 0; k < take; ++k) in_s.emplace(cls[k], 1);
+    for (std::size_t k = 0; k < take; ++k) covered_[cls[k]] = 1;
   }
 
   // Step 3: contiguous, left-aligned, covering set as suffix.  Stable
   // partition keeps relative order and thus minimizes movement.
-  std::vector<ItemId> next;
-  next.reserve(order_.size());
-  for (ItemId id : order_) {
-    if (in_s.find(id) == in_s.end()) next.push_back(id);
+  next_order_.clear();
+  next_sizes_.clear();
+  next_classes_.clear();
+  next_order_.reserve(n);
+  next_sizes_.reserve(n);
+  next_classes_.reserve(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    if (!covered_[k]) {
+      next_order_.push_back(order_[k]);
+      next_sizes_.push_back(sizes_[k]);
+      next_classes_.push_back(classes_[k]);
+    }
   }
-  covering_begin_ = next.size();
-  for (ItemId id : order_) {
-    if (in_s.find(id) != in_s.end()) next.push_back(id);
+  covering_begin_ = next_order_.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    if (covered_[k]) {
+      next_order_.push_back(order_[k]);
+      next_sizes_.push_back(sizes_[k]);
+      next_classes_.push_back(classes_[k]);
+    }
   }
-  order_ = std::move(next);
+  order_.swap(next_order_);
+  sizes_.swap(next_sizes_);
+  classes_.swap(next_classes_);
   apply_layout(0);
 }
 
@@ -104,60 +117,67 @@ void SimpleAllocator::insert(ItemId id, Tick size) {
   mem_->place(id, off, size);
   pos_[id] = order_.size();
   order_.push_back(id);  // joins the covering set (suffix)
-  (void)size_class_of(size);  // validates the size regime
+  sizes_.push_back(size);
+  // size_class_of also validates the size regime on entry.
+  classes_.push_back(static_cast<std::uint32_t>(size_class_of(size)));
 }
 
 void SimpleAllocator::erase(ItemId id) {
   if (updates_seen_ % period_ == 0) rebuild();
   ++updates_seen_;
 
-  const auto pit = pos_.find(id);
-  MEMREAL_CHECK_MSG(pit != pos_.end(), "erase of unknown item " << id);
-  const std::size_t p = pit->second;
+  const std::size_t* pit = pos_.find(id);
+  MEMREAL_CHECK_MSG(pit != nullptr, "erase of unknown item " << id);
+  const std::size_t p = *pit;
 
   if (p >= covering_begin_) {
     // Covering-set delete: remove and compact the covering set.
     mem_->remove(id);
-    pos_.erase(pit);
+    pos_.erase(id);
     order_.erase(order_.begin() + static_cast<std::ptrdiff_t>(p));
+    sizes_.erase(sizes_.begin() + static_cast<std::ptrdiff_t>(p));
+    classes_.erase(classes_.begin() + static_cast<std::ptrdiff_t>(p));
     apply_layout(p);
     return;
   }
 
   // Main-portion delete: swap in a covering item of the same class with
   // logical size <= ours (Lemma 3.2 guarantees one exists), inflate it.
-  const std::size_t cls = size_class_of(mem_->size_of(id));
+  // Covering items are never inflated (extent == size, see
+  // check_invariants), so the extent comparisons reduce to cached sizes.
+  const std::size_t cls = classes_[p];
   const Tick my_extent = mem_->extent_of(id);
-  ItemId best = kNoItem;
-  Tick best_extent = 0;
+  std::size_t q = order_.size();
   for (std::size_t k = covering_begin_; k < order_.size(); ++k) {
-    const ItemId cand = order_[k];
-    if (size_class_of(mem_->size_of(cand)) != cls) continue;
-    const Tick ext = mem_->extent_of(cand);
-    if (ext > my_extent) continue;
-    if (best == kNoItem || ext < best_extent) {
-      best = cand;
-      best_extent = ext;
-    }
+    const Tick sz = sizes_[k];
+    if (classes_[k] != cls) continue;
+    if (sz > my_extent) continue;
+    if (q == order_.size() || sz < sizes_[q]) q = k;
   }
-  MEMREAL_CHECK_MSG(best != kNoItem,
+  MEMREAL_CHECK_MSG(q < order_.size(),
                     "Lemma 3.2 violated: no covering item for class " << cls);
+  const ItemId best = order_[q];
 
-  const std::size_t q = pos_[best];
   const Tick slot = mem_->offset_of(id);
   mem_->remove(id);
-  pos_.erase(pit);
+  pos_.erase(id);
   // I' takes I's slot and I's (inflated) extent.
   mem_->move_to(best, slot);
   mem_->set_extent(best, my_extent);
   order_[p] = best;
+  sizes_[p] = sizes_[q];
+  classes_[p] = classes_[q];
   pos_[best] = p;
   order_.erase(order_.begin() + static_cast<std::ptrdiff_t>(q));
+  sizes_.erase(sizes_.begin() + static_cast<std::ptrdiff_t>(q));
+  classes_.erase(classes_.begin() + static_cast<std::ptrdiff_t>(q));
   apply_layout(q);  // compact the covering set
 }
 
 void SimpleAllocator::check_invariants() const {
   MEMREAL_CHECK(order_.size() == mem_->item_count());
+  MEMREAL_CHECK(sizes_.size() == order_.size());
+  MEMREAL_CHECK(classes_.size() == order_.size());
   MEMREAL_CHECK(covering_begin_ <= order_.size());
   // Contiguity of extents from 0.
   Tick off = 0;
@@ -166,6 +186,9 @@ void SimpleAllocator::check_invariants() const {
     const ItemId id = order_[k];
     MEMREAL_CHECK_MSG(mem_->offset_of(id) == off, "layout not contiguous");
     MEMREAL_CHECK(pos_.at(id) == k);
+    MEMREAL_CHECK_MSG(sizes_[k] == mem_->size_of(id), "size-cache drift");
+    MEMREAL_CHECK_MSG(classes_[k] == size_class_of(sizes_[k]),
+                      "class-cache drift");
     waste += mem_->extent_of(id) - mem_->size_of(id);
     off += mem_->extent_of(id);
   }

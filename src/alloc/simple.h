@@ -13,11 +13,12 @@
 // by (rebuild period) x (class width) <= eps.
 #pragma once
 
-#include <unordered_map>
+#include <cstdint>
 #include <vector>
 
 #include "core/allocator.h"
-#include "mem/memory.h"
+#include "core/layout_store.h"
+#include "util/flat_map.h"
 
 namespace memreal {
 
@@ -25,7 +26,7 @@ class SimpleAllocator final : public Allocator {
  public:
   /// eps must match the Memory's eps_ticks; item sizes must lie in
   /// [eps, 2eps) of capacity.
-  SimpleAllocator(Memory& mem, double eps);
+  SimpleAllocator(LayoutStore& mem, double eps);
 
   void insert(ItemId id, Tick size) override;
   void erase(ItemId id) override;
@@ -50,7 +51,7 @@ class SimpleAllocator final : public Allocator {
   /// Recomputes contiguous offsets for order_[from..] and refreshes pos_.
   void apply_layout(std::size_t from);
 
-  Memory* mem_;
+  LayoutStore* mem_;
   Tick eps_t_;
   Tick min_size_, max_size_;  ///< [eps, 2eps) in ticks
   std::size_t num_classes_;   ///< ceil(eps^-1/3)
@@ -58,10 +59,22 @@ class SimpleAllocator final : public Allocator {
   std::size_t period_;        ///< floor(eps^-1/3), clamped for waste bound
 
   std::vector<ItemId> order_;  ///< left-to-right; covering set is a suffix
+  std::vector<Tick> sizes_;    ///< true size per order_ position (sizes are
+                               ///< immutable, so this caches them away from
+                               ///< the store's id-map probes)
+  std::vector<std::uint32_t> classes_;  ///< size class per order_ position
   std::size_t covering_begin_ = 0;
-  std::unordered_map<ItemId, std::size_t> pos_;
+  FlatIdMap<std::size_t> pos_;
   std::size_t updates_seen_ = 0;
   std::size_t rebuilds_ = 0;
+
+  // Rebuild scratch, kept as members so the per-rebuild hot path reuses
+  // capacity instead of reallocating.
+  std::vector<std::vector<std::uint32_t>> by_class_;
+  std::vector<char> covered_;
+  std::vector<ItemId> next_order_;
+  std::vector<Tick> next_sizes_;
+  std::vector<std::uint32_t> next_classes_;
 };
 
 }  // namespace memreal

@@ -37,7 +37,7 @@ class IdentityUnitSpace final : public UnitSpace {
 
 }  // namespace
 
-TinySlabAllocator::TinySlabAllocator(Memory& mem,
+TinySlabAllocator::TinySlabAllocator(LayoutStore& mem,
                                      const TinySlabConfig& config,
                                      UnitSpace* space)
     : mem_(&mem), rng_(config.seed) {

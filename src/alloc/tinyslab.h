@@ -33,7 +33,7 @@
 #include <vector>
 
 #include "core/allocator.h"
-#include "mem/memory.h"
+#include "core/layout_store.h"
 #include "util/rng.h"
 
 namespace memreal {
@@ -68,7 +68,7 @@ class TinySlabAllocator final : public Allocator {
  public:
   /// `space` may be nullptr, in which case units are placed contiguously
   /// from offset 0.
-  TinySlabAllocator(Memory& mem, const TinySlabConfig& config,
+  TinySlabAllocator(LayoutStore& mem, const TinySlabConfig& config,
                     UnitSpace* space = nullptr);
 
   void insert(ItemId id, Tick size) override;
@@ -121,7 +121,7 @@ class TinySlabAllocator final : public Allocator {
   void place_item(ItemId id, Tick size, std::size_t slab_id,
                   std::size_t slot, bool is_new);
 
-  Memory* mem_;
+  LayoutStore* mem_;
   UnitSpace* space_;
   std::unique_ptr<UnitSpace> owned_space_;
 

@@ -6,7 +6,8 @@
 
 namespace memreal {
 
-Engine::Engine(Memory& memory, Allocator& allocator, EngineOptions options)
+Engine::Engine(LayoutStore& memory, Allocator& allocator,
+               EngineOptions options)
     : memory_(&memory), allocator_(&allocator), options_(std::move(options)) {
   memory_->policy().check_resizable_bound = allocator_->resizable();
 }

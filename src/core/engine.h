@@ -1,6 +1,7 @@
 // The engine drives an allocator through an update sequence against the
 // validating memory model, bracketing each update in a transaction and
-// collecting RunStats.
+// collecting RunStats.  It runs against any LayoutStore — the validating
+// Memory model or the release SlabStore.
 #pragma once
 
 #include <cstddef>
@@ -10,7 +11,7 @@
 #include "core/allocator.h"
 #include "core/run_stats.h"
 #include "core/update.h"
-#include "mem/memory.h"
+#include "core/layout_store.h"
 
 namespace memreal {
 
@@ -24,7 +25,8 @@ struct EngineOptions {
 
 class Engine {
  public:
-  Engine(Memory& memory, Allocator& allocator, EngineOptions options = {});
+  Engine(LayoutStore& memory, Allocator& allocator,
+         EngineOptions options = {});
 
   /// Applies all updates; throws InvariantViolation on any model or
   /// allocator invariant failure.  Returns the accumulated statistics.
@@ -34,11 +36,11 @@ class Engine {
   double step(const Update& update);
 
   [[nodiscard]] const RunStats& stats() const { return stats_; }
-  [[nodiscard]] Memory& memory() { return *memory_; }
+  [[nodiscard]] LayoutStore& memory() { return *memory_; }
   [[nodiscard]] Allocator& allocator() { return *allocator_; }
 
  private:
-  Memory* memory_;
+  LayoutStore* memory_;
   Allocator* allocator_;
   EngineOptions options_;
   RunStats stats_;

@@ -4,6 +4,8 @@
 #include <sstream>
 
 #include "harness/validated_run.h"
+#include "release/release_cell.h"
+#include "release/slab_store.h"
 #include "util/check.h"
 
 namespace memreal {
@@ -16,9 +18,67 @@ const char* to_string(FailureKind kind) {
       return "cost-budget";
     case FailureKind::kDivergence:
       return "divergence";
+    case FailureKind::kEngineDivergence:
+      return "engine-divergence";
   }
   return "unknown";
 }
+
+namespace {
+
+/// Compares the validated and release layouts of one target; returns a
+/// human-readable description of the first difference, or empty if
+/// bit-identical.
+std::string compare_layouts(LayoutStore& validated, SlabStore& release) {
+  const std::vector<PlacedItem> a = validated.snapshot();
+  const std::vector<PlacedItem> b = release.snapshot();
+  if (a.size() != b.size()) {
+    std::ostringstream os;
+    os << "layout item counts differ: validated " << a.size() << ", release "
+       << b.size();
+    return os.str();
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].id == b[i].id && a[i].offset == b[i].offset &&
+        a[i].size == b[i].size && a[i].extent == b[i].extent) {
+      continue;
+    }
+    std::ostringstream os;
+    os << "layouts differ at rank " << i << ": validated {id " << a[i].id
+       << " off " << a[i].offset << " size " << a[i].size << " ext "
+       << a[i].extent << "}, release {id " << b[i].id << " off "
+       << b[i].offset << " size " << b[i].size << " ext " << b[i].extent
+       << "}";
+    return os.str();
+  }
+  return {};
+}
+
+/// Compares the O(1) model counters after one lockstep step; empty if
+/// identical.
+std::string compare_counters(double validated_cost, double release_cost,
+                             LayoutStore& validated, SlabStore& release) {
+  std::ostringstream os;
+  if (validated_cost != release_cost) {
+    os << "update cost differs: validated " << validated_cost << ", release "
+       << release_cost;
+  } else if (validated.item_count() != release.item_count()) {
+    os << "item count differs: validated " << validated.item_count()
+       << ", release " << release.item_count();
+  } else if (validated.live_mass() != release.live_mass()) {
+    os << "live mass differs: validated " << validated.live_mass()
+       << ", release " << release.live_mass();
+  } else if (validated.span_end() != release.span_end()) {
+    os << "span end differs: validated " << validated.span_end()
+       << ", release " << release.span_end();
+  } else if (validated.total_moved() != release.total_moved()) {
+    os << "total moved mass differs: validated " << validated.total_moved()
+       << ", release " << release.total_moved();
+  }
+  return os.str();
+}
+
+}  // namespace
 
 std::optional<FailureReport> run_differential(
     const Sequence& seq, const DifferentialConfig& config) {
@@ -26,6 +86,7 @@ std::optional<FailureReport> run_differential(
   MEMREAL_CHECK(!seq.updates.empty());
 
   std::vector<std::unique_ptr<ValidatedCell>> cells;
+  std::vector<std::unique_ptr<ReleaseCell>> release_cells;
   cells.reserve(config.targets.size());
   for (const FuzzTarget& t : config.targets) {
     CellConfig cell;
@@ -34,7 +95,13 @@ std::optional<FailureReport> run_differential(
     cell.audit_every = config.audit_every;
     cell.check_invariants_every = config.check_invariants_every;
     cells.push_back(std::make_unique<ValidatedCell>(seq, cell));
+    if (config.lockstep_release) {
+      release_cells.push_back(std::make_unique<ReleaseCell>(
+          seq.capacity, seq.eps_ticks, cell));
+    }
   }
+  const std::size_t layout_every =
+      config.audit_every == 0 ? 64 : config.audit_every;
 
   // The reference live set replayed from the sequence itself; every target
   // must agree with it after every update.
@@ -96,11 +163,56 @@ std::optional<FailureReport> run_differential(
            << " undercuts live mass " << live_mass;
         return diverged(os.str());
       }
+      if (config.lockstep_release) {
+        ReleaseCell& fast = *release_cells[t];
+        auto engine_diverged = [&](const std::string& what) {
+          FailureReport r;
+          r.kind = FailureKind::kEngineDivergence;
+          r.allocator = cell.name();
+          r.update_index = i;
+          r.message = what;
+          return r;
+        };
+        double fast_cost = 0.0;
+        try {
+          fast_cost = fast.step(u);
+        } catch (const InvariantViolation& e) {
+          return engine_diverged(std::string("release engine threw: ") +
+                                 e.what());
+        }
+        std::string diff =
+            compare_counters(cost, fast_cost, cell.memory(), fast.memory());
+        if (diff.empty() && (i + 1) % layout_every == 0) {
+          diff = compare_layouts(cell.memory(), fast.memory());
+        }
+        if (!diff.empty()) return engine_diverged(diff);
+        if (config.release_tamper) config.release_tamper(fast.memory(), i);
+      }
     }
   }
 
   for (std::size_t t = 0; t < cells.size(); ++t) {
     ValidatedCell& cell = *cells[t];
+    if (config.lockstep_release) {
+      ReleaseCell& fast = *release_cells[t];
+      std::string diff = compare_layouts(cell.memory(), fast.memory());
+      if (diff.empty()) {
+        try {
+          fast.audit();
+        } catch (const InvariantViolation& e) {
+          diff = std::string("release store failed its final audit: ") +
+                 e.what();
+        }
+      }
+      if (!diff.empty()) {
+        FailureReport r;
+        r.kind = FailureKind::kEngineDivergence;
+        r.allocator = cell.name();
+        r.update_index = seq.updates.size();
+        r.message = diff;
+        return r;
+      }
+    }
     try {
       cell.memory().audit();
       cell.allocator().check_invariants();

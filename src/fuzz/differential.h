@@ -11,11 +11,18 @@
 //     live item count and live mass after every update, every insert must
 //     move at least the inserted mass (the item's bytes get written), and
 //     span may never undercut live mass.
+//   * kEngineDivergence — with lockstep_release set, each target also
+//     runs on the unchecked release engine (SlabStore + ReleaseEngine);
+//     any difference from the validated cell in per-update cost, O(1)
+//     model counters, or (at audit cadence and run end) the full layout
+//     is a release fast-path bug.
 //
 // The first failure (in update order, then fixed target order) wins, so a
 // report is deterministic for a given (sequence, target list).
 #pragma once
 
+#include <cstddef>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -25,10 +32,13 @@
 
 namespace memreal {
 
+class SlabStore;
+
 enum class FailureKind : unsigned char {
   kInvariantViolation,
   kCostBudget,
   kDivergence,
+  kEngineDivergence,
 };
 
 [[nodiscard]] const char* to_string(FailureKind kind);
@@ -49,6 +59,17 @@ struct DifferentialConfig {
   std::size_t audit_every = 64;
   /// Allocator self-check cadence.
   std::size_t check_invariants_every = 16;
+  /// Also run every target on the release engine in lockstep with its
+  /// validated cell; any cost/counter/layout difference is reported as
+  /// kEngineDivergence (layouts are compared at audit_every cadence and
+  /// at run end, counters and costs at every update).
+  bool lockstep_release = false;
+  /// Test hook, lockstep_release only: invoked on each target's release
+  /// SlabStore after every update (post-comparison, so damage surfaces at
+  /// the next checkpoint).  Lets tests plant slab corruption and prove
+  /// the oracle catches and shrinks it; must be deterministic for a given
+  /// sequence or shrinking will not reproduce.
+  std::function<void(SlabStore&, std::size_t update_index)> release_tamper;
 };
 
 struct FailureReport {

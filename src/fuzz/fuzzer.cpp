@@ -77,6 +77,7 @@ DifferentialConfig make_differential_config(const TargetGroup& group,
   d.budget_slack = cfg.budget_slack;
   d.audit_every = cfg.audit_every;
   d.check_invariants_every = cfg.check_invariants_every;
+  d.lockstep_release = cfg.engine == "release";
   d.targets.reserve(group.members.size());
   for (const AllocatorInfo& info : group.members) {
     FuzzTarget t;
@@ -130,6 +131,9 @@ std::vector<AllocatorInfo> resolve_fuzz_targets(const FuzzConfig& cfg) {
 
 FuzzSummary run_fuzz(const FuzzConfig& cfg) {
   MEMREAL_CHECK(cfg.iterations > 0);
+  MEMREAL_CHECK_MSG(cfg.engine == "validated" || cfg.engine == "release",
+                    "unknown fuzz engine '" << cfg.engine
+                                            << "' (validated, release)");
   const std::vector<TargetGroup> groups =
       make_target_groups(resolve_fuzz_targets(cfg));
 
@@ -218,6 +222,7 @@ FuzzSummary replay_corpus(const FuzzConfig& cfg, const std::string& dir) {
     dcfg.budget_slack = cfg.budget_slack;
     dcfg.audit_every = cfg.audit_every;
     dcfg.check_invariants_every = cfg.check_invariants_every;
+    dcfg.lockstep_release = cfg.engine == "release";
     const std::uint64_t iseed = iteration_seed(entry.seed, entry.iteration);
     const bool have_target =
         std::find(known.begin(), known.end(), entry.allocator) != known.end();

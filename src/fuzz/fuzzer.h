@@ -37,6 +37,11 @@ struct FuzzConfig {
   /// Registry names to fuzz; empty = every fuzz_default registration.
   std::vector<std::string> allocators;
   Tick capacity = Tick{1} << 40;
+  /// "validated" fuzzes the validating cells alone; "release" additionally
+  /// runs every target on the release engine in lockstep and reports any
+  /// cost/counter/layout difference as engine-divergence (harness/cell.h
+  /// engine_names()).
+  std::string engine = "validated";
   bool shrink = true;
   double budget_slack = 1.0;
   std::size_t audit_every = 64;

@@ -1,0 +1,23 @@
+#include "harness/cell.h"
+
+#include "harness/validated_run.h"
+#include "release/release_cell.h"
+#include "util/check.h"
+
+namespace memreal {
+
+std::unique_ptr<Cell> make_cell(Tick capacity, Tick eps_ticks,
+                                const CellConfig& config) {
+  if (config.engine == "validated") {
+    return std::make_unique<ValidatedCell>(capacity, eps_ticks, config);
+  }
+  if (config.engine == "release") {
+    return std::make_unique<ReleaseCell>(capacity, eps_ticks, config);
+  }
+  MEMREAL_CHECK_MSG(false, "unknown engine '" << config.engine
+                                              << "' (validated, release)");
+}
+
+std::vector<std::string> engine_names() { return {"validated", "release"}; }
+
+}  // namespace memreal

@@ -1,0 +1,71 @@
+// The engine-selection seam: one cell = one (layout store, allocator,
+// engine) triple driving a single contiguous address space.  CellConfig
+// names the allocator AND the engine flavor; make_cell constructs the
+// matching triple:
+//
+//   engine = "validated"  ->  ValidatedCell  (Memory + Engine: per-update
+//                             incremental checks, audit cadence)
+//   engine = "release"    ->  ReleaseCell    (SlabStore + ReleaseEngine:
+//                             no per-update validation, explicit audit)
+//
+// ShardedEngine, the fuzz oracle and the drivers all hold Cells, so the
+// release fast path slots in behind every existing consumer without
+// touching their update-routing logic.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "alloc/registry.h"
+#include "core/layout_store.h"
+#include "core/run_stats.h"
+#include "core/update.h"
+#include "util/types.h"
+
+namespace memreal {
+
+struct CellConfig {
+  std::string engine = "validated";  ///< "validated" or "release"
+  std::string allocator;             ///< registry name
+  AllocatorParams params;
+  /// Incremental O(log n) model validation at every update (validated
+  /// engine only; the release engine never validates per update).
+  bool incremental_validation = true;
+  /// Full O(n) audit cadence; 0 = explicit-only (validated engine only).
+  std::size_t audit_every = 0;
+  /// Allocator self-check cadence; 0 = never (validated engine only).
+  std::size_t check_invariants_every = 0;
+};
+
+/// A constructed cell for one update stream.  Non-movable: the allocator
+/// and engine hold references into the store member, so the cell must stay
+/// put (heap-allocate to store in containers).
+class Cell {
+ public:
+  virtual ~Cell() = default;
+
+  [[nodiscard]] virtual LayoutStore& memory() = 0;
+  [[nodiscard]] virtual Allocator& allocator() = 0;
+  [[nodiscard]] virtual const std::string& name() const = 0;
+
+  /// Applies a single update and returns its cost L/k.
+  virtual double step(const Update& update) = 0;
+  /// Applies all updates and returns the accumulated statistics.
+  virtual RunStats run(std::span<const Update> updates) = 0;
+  [[nodiscard]] virtual const RunStats& stats() const = 0;
+
+  /// Full model audit + allocator self-check (the release cell's only
+  /// validation point).
+  virtual void audit() = 0;
+};
+
+/// Constructs the cell flavor named by config.engine; throws
+/// InvariantViolation for unknown engine names.
+[[nodiscard]] std::unique_ptr<Cell> make_cell(Tick capacity, Tick eps_ticks,
+                                              const CellConfig& config);
+
+/// The engine flavors make_cell accepts, for CLI validation and help text.
+[[nodiscard]] std::vector<std::string> engine_names();
+
+}  // namespace memreal

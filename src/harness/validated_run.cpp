@@ -29,11 +29,15 @@ ValidatedCell::ValidatedCell(Tick capacity, Tick eps_ticks,
       allocator_(make_allocator(config.allocator, memory_, config.params)),
       engine_(memory_, *allocator_, cell_options(config)) {}
 
+void ValidatedCell::audit() {
+  memory_.audit();
+  allocator_->check_invariants();
+}
+
 RunStats run_validated(const Sequence& seq, const CellConfig& config) {
   ValidatedCell cell(seq, config);
   RunStats stats = cell.engine().run(seq.updates);
-  cell.memory().audit();
-  cell.allocator().check_invariants();
+  cell.audit();
   return stats;
 }
 

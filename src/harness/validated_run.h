@@ -2,34 +2,26 @@
 // the standard validation policy.  Shared by the experiment grid
 // (harness/experiment.cpp), the differential fuzzer (fuzz/differential.cpp)
 // and ad-hoc drivers, so the cell wiring (policy knobs, param plumbing,
-// construction order) lives in exactly one place.
+// construction order) lives in exactly one place.  CellConfig and the
+// engine-selection seam live in harness/cell.h.
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
 
 #include "alloc/registry.h"
 #include "core/engine.h"
+#include "harness/cell.h"
 #include "mem/memory.h"
 #include "workload/sequence.h"
 
 namespace memreal {
 
-struct CellConfig {
-  std::string allocator;  ///< registry name
-  AllocatorParams params;
-  /// Incremental O(log n) model validation at every update.
-  bool incremental_validation = true;
-  /// Full O(n) audit cadence; 0 = explicit-only.
-  std::size_t audit_every = 0;
-  /// Allocator self-check cadence; 0 = never.
-  std::size_t check_invariants_every = 0;
-};
-
 /// A constructed (Memory, Allocator, Engine) triple for one sequence.
 /// Non-movable: the allocator and engine hold references into the memory
 /// member, so the cell must stay put (heap-allocate to store in containers).
-class ValidatedCell {
+class ValidatedCell final : public Cell {
  public:
   ValidatedCell(const Sequence& seq, const CellConfig& config);
 
@@ -40,10 +32,20 @@ class ValidatedCell {
   ValidatedCell(const ValidatedCell&) = delete;
   ValidatedCell& operator=(const ValidatedCell&) = delete;
 
-  [[nodiscard]] Memory& memory() { return memory_; }
-  [[nodiscard]] Allocator& allocator() { return *allocator_; }
+  [[nodiscard]] Memory& memory() override { return memory_; }
+  [[nodiscard]] Allocator& allocator() override { return *allocator_; }
   [[nodiscard]] Engine& engine() { return engine_; }
-  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::string& name() const override { return name_; }
+
+  double step(const Update& update) override { return engine_.step(update); }
+  RunStats run(std::span<const Update> updates) override {
+    return engine_.run(updates);
+  }
+  [[nodiscard]] const RunStats& stats() const override {
+    return engine_.stats();
+  }
+
+  void audit() override;
 
  private:
   std::string name_;

@@ -6,6 +6,7 @@
 
 #include "alloc/registry.h"
 #include "core/engine.h"
+#include "mem/memory.h"
 #include "util/check.h"
 
 namespace memreal {

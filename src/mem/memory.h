@@ -36,49 +36,14 @@
 #include <utility>
 #include <vector>
 
+#include "core/layout_store.h"
 #include "util/check.h"
 #include "util/types.h"
 
 namespace memreal {
 
-/// Controls how the layout is validated at the close of each update.
-struct ValidationPolicy {
-  /// Check, at the end of every update, that each item mutated during the
-  /// update is disjoint from its offset-order neighbors, and that the
-  /// global span/load bounds hold.  O(log n) per mutation; catches exactly
-  /// the violations a full audit would (overlap can only involve a touched
-  /// item, see Memory::end_update).
-  bool incremental = true;
-  /// Run the full O(n) audit() at the end of every n-th update; 0 keeps
-  /// audits explicit-only.  Belt-and-suspenders on top of `incremental`
-  /// (it additionally cross-checks the cached mass totals and the index
-  /// structures themselves).
-  std::size_t audit_every_n_updates = 0;
-  /// Enforce span_end <= live_mass + eps (the resizable guarantee).
-  /// Non-resizable allocators (windowed folklore) set this false and are
-  /// checked against span_end <= capacity instead.
-  bool check_resizable_bound = true;
-  /// Enforce the adversary's load-factor promise on placement.
-  bool check_load_factor = true;
-};
-
-/// A placed item as seen by introspection (ordered snapshots and the
-/// neighbor-query API).
-struct PlacedItem {
-  ItemId id = kNoItem;
-  Tick offset = 0;
-  Tick size = 0;    ///< true size
-  Tick extent = 0;  ///< logical (inflated) size; extent >= size
-};
-
-class Memory {
+class Memory final : public LayoutStore {
  public:
-  /// Offset-order neighbors of an item (absent at the span boundaries).
-  struct Neighbors {
-    std::optional<PlacedItem> prev;
-    std::optional<PlacedItem> next;
-  };
-
   Memory(Tick capacity, Tick eps_ticks, ValidationPolicy policy = {});
 
   // Move-only: the id table stores iterators into the offset index, so a
@@ -91,100 +56,113 @@ class Memory {
   // -- Transactions -------------------------------------------------------
 
   /// Starts accounting for one update (insert or delete) of `update_size`.
-  void begin_update(Tick update_size, bool is_insert);
+  void begin_update(Tick update_size, bool is_insert) override;
 
   /// Ends the update; returns the total true mass moved during it.  Runs
   /// the incremental neighbor checks and, per policy, a periodic full
   /// audit.
-  Tick end_update();
+  Tick end_update() override;
 
-  [[nodiscard]] bool in_update() const { return in_update_; }
+  [[nodiscard]] bool in_update() const override { return in_update_; }
   /// Mass moved so far in the open update.
-  [[nodiscard]] Tick moved_in_update() const { return moved_; }
+  [[nodiscard]] Tick moved_in_update() const override { return moved_; }
 
   // -- Layout mutation (allowed only inside an update) ---------------------
 
   /// Places a new item; charges `size` moved mass (writing the item's
   /// bytes).  extent defaults to size.
-  void place(ItemId id, Tick offset, Tick size, Tick extent = 0);
+  void place(ItemId id, Tick offset, Tick size, Tick extent = 0) override;
 
   /// Moves an existing item; charges its true size iff the offset changes.
-  void move_to(ItemId id, Tick offset);
+  void move_to(ItemId id, Tick offset) override;
 
   /// Logically inflates/deflates an item's extent (free: no bytes move).
   /// extent must be >= true size.
-  void set_extent(ItemId id, Tick extent);
+  void set_extent(ItemId id, Tick extent) override;
 
   /// Resets extent to the true size (waste-recovery "revert").
-  void reset_extent(ItemId id);
+  void reset_extent(ItemId id) override;
 
   /// Removes an item (free: deallocating costs nothing in the model).
-  void remove(ItemId id);
+  void remove(ItemId id) override;
 
   // -- Point queries --------------------------------------------------------
 
-  [[nodiscard]] bool contains(ItemId id) const { return items_.count(id) > 0; }
-  [[nodiscard]] Tick offset_of(ItemId id) const {
+  [[nodiscard]] bool contains(ItemId id) const override {
+    return items_.count(id) > 0;
+  }
+  [[nodiscard]] Tick offset_of(ItemId id) const override {
     return iter(id)->first.first;
   }
-  [[nodiscard]] Tick size_of(ItemId id) const { return iter(id)->second.size; }
-  [[nodiscard]] Tick extent_of(ItemId id) const {
+  [[nodiscard]] Tick size_of(ItemId id) const override {
+    return iter(id)->second.size;
+  }
+  [[nodiscard]] Tick extent_of(ItemId id) const override {
     return iter(id)->second.extent;
   }
-  [[nodiscard]] Tick end_of(ItemId id) const {
+  [[nodiscard]] Tick end_of(ItemId id) const override {
     const auto it = iter(id);
     return it->first.first + it->second.extent;
   }
 
-  [[nodiscard]] std::size_t item_count() const { return items_.size(); }
+  [[nodiscard]] std::size_t item_count() const override {
+    return items_.size();
+  }
   /// Sum of true sizes (the paper's L).
-  [[nodiscard]] Tick live_mass() const { return live_mass_; }
+  [[nodiscard]] Tick live_mass() const override { return live_mass_; }
   /// Sum of extents (>= live_mass; difference is the logical waste).
-  [[nodiscard]] Tick extent_mass() const { return extent_mass_; }
+  [[nodiscard]] Tick extent_mass() const override { return extent_mass_; }
   /// max over items of offset + extent (0 when empty).  O(1).
-  [[nodiscard]] Tick span_end() const {
+  [[nodiscard]] Tick span_end() const override {
     return ends_.empty() ? 0 : *ends_.rbegin();
   }
 
-  [[nodiscard]] Tick capacity() const { return capacity_; }
-  [[nodiscard]] Tick eps_ticks() const { return eps_ticks_; }
+  [[nodiscard]] Tick capacity() const override { return capacity_; }
+  [[nodiscard]] Tick eps_ticks() const override { return eps_ticks_; }
 
   /// Total true mass moved since construction.
-  [[nodiscard]] Tick total_moved() const { return total_moved_; }
-  [[nodiscard]] std::size_t update_count() const { return updates_; }
+  [[nodiscard]] Tick total_moved() const override { return total_moved_; }
+  [[nodiscard]] std::size_t update_count() const override {
+    return updates_;
+  }
 
   // -- Ordered (by-offset) queries — all O(log n) ---------------------------
 
   /// The item whose extent covers `offset`, if any.
-  [[nodiscard]] std::optional<PlacedItem> item_at(Tick offset) const;
+  [[nodiscard]] std::optional<PlacedItem> item_at(Tick offset) const override;
   /// The leftmost item placed at or beyond `offset` (successor query).
-  [[nodiscard]] std::optional<PlacedItem> first_at_or_after(Tick offset) const;
+  [[nodiscard]] std::optional<PlacedItem> first_at_or_after(
+      Tick offset) const override;
   /// The rightmost item placed strictly before `offset` (predecessor).
-  [[nodiscard]] std::optional<PlacedItem> last_before(Tick offset) const;
+  [[nodiscard]] std::optional<PlacedItem> last_before(
+      Tick offset) const override;
   /// Leftmost / rightmost placed item.
-  [[nodiscard]] std::optional<PlacedItem> first_item() const;
-  [[nodiscard]] std::optional<PlacedItem> last_item() const;
+  [[nodiscard]] std::optional<PlacedItem> first_item() const override;
+  [[nodiscard]] std::optional<PlacedItem> last_item() const override;
   /// Offset-order neighbors of a placed item.
-  [[nodiscard]] Neighbors neighbors_of(ItemId id) const;
+  [[nodiscard]] Neighbors neighbors_of(ItemId id) const override;
   /// Items with offset in [from, to), in offset order.  O(log n + k) —
   /// one index descent plus an iterator walk, not k point queries.
-  [[nodiscard]] std::vector<PlacedItem> items_in(Tick from, Tick to) const;
+  [[nodiscard]] std::vector<PlacedItem> items_in(Tick from,
+                                                 Tick to) const override;
 
   /// Items sorted by offset.  O(n) — backed by the index, no sorting.
-  [[nodiscard]] std::vector<PlacedItem> snapshot() const;
+  [[nodiscard]] std::vector<PlacedItem> snapshot() const override;
 
   /// Free intervals between placed extents inside [0, span_end()].  O(n).
-  [[nodiscard]] std::vector<std::pair<Tick, Tick>> gaps() const;
+  [[nodiscard]] std::vector<std::pair<Tick, Tick>> gaps() const override;
 
   // -- Validation ----------------------------------------------------------
 
   /// Full O(n) check: extents pairwise disjoint, within bounds, mass
   /// totals and index caches consistent.  Throws InvariantViolation on
   /// failure.
-  void audit() const;
+  void audit() const override;
 
-  ValidationPolicy& policy() { return policy_; }
-  [[nodiscard]] const ValidationPolicy& policy() const { return policy_; }
+  [[nodiscard]] ValidationPolicy& policy() override { return policy_; }
+  [[nodiscard]] const ValidationPolicy& policy() const override {
+    return policy_;
+  }
 
  private:
   struct Rec {

@@ -1,0 +1,17 @@
+#include "release/release_cell.h"
+
+namespace memreal {
+
+ReleaseCell::ReleaseCell(Tick capacity, Tick eps_ticks,
+                         const CellConfig& config)
+    : name_(config.allocator),
+      store_(capacity, eps_ticks),
+      allocator_(make_allocator(config.allocator, store_, config.params)),
+      engine_(store_, *allocator_) {}
+
+void ReleaseCell::audit() {
+  store_.audit();
+  allocator_->check_invariants();
+}
+
+}  // namespace memreal

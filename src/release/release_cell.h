@@ -1,0 +1,46 @@
+// The release-engine cell: SlabStore + Allocator + ReleaseEngine wired
+// behind the Cell seam, so ShardedEngine and the drivers can run the fast
+// path through the exact plumbing they use for validated cells.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "harness/cell.h"
+#include "release/release_engine.h"
+#include "release/slab_store.h"
+
+namespace memreal {
+
+class ReleaseCell final : public Cell {
+ public:
+  ReleaseCell(Tick capacity, Tick eps_ticks, const CellConfig& config);
+
+  ReleaseCell(const ReleaseCell&) = delete;
+  ReleaseCell& operator=(const ReleaseCell&) = delete;
+
+  [[nodiscard]] SlabStore& memory() override { return store_; }
+  [[nodiscard]] Allocator& allocator() override { return *allocator_; }
+  [[nodiscard]] const std::string& name() const override { return name_; }
+
+  double step(const Update& update) override { return engine_.step(update); }
+  RunStats run(std::span<const Update> updates) override {
+    return engine_.run(updates);
+  }
+  [[nodiscard]] const RunStats& stats() const override {
+    return engine_.stats();
+  }
+
+  void audit() override;
+
+  [[nodiscard]] ReleaseEngine& engine() { return engine_; }
+
+ private:
+  std::string name_;
+  SlabStore store_;
+  std::unique_ptr<Allocator> allocator_;
+  ReleaseEngine engine_;
+};
+
+}  // namespace memreal

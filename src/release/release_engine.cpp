@@ -1,0 +1,50 @@
+#include "release/release_engine.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace memreal {
+
+ReleaseEngine::ReleaseEngine(SlabStore& store, Allocator& allocator,
+                             ReleaseEngineOptions options)
+    : store_(&store), allocator_(&allocator), options_(options) {
+  if (options_.batch_size == 0) options_.batch_size = 1;
+  store_->policy().check_resizable_bound = allocator_->resizable();
+}
+
+Tick ReleaseEngine::apply(const Update& update) {
+  const bool is_insert = update.is_insert();
+  store_->begin_update(update.size, is_insert);
+  if (is_insert) {
+    allocator_->insert(update.id, update.size);
+  } else {
+    allocator_->erase(update.id);
+  }
+  const Tick moved = store_->end_update();
+  stats_.record(is_insert, update.size, moved);
+  return moved;
+}
+
+double ReleaseEngine::step(const Update& update) {
+  const Tick moved = apply(update);
+  return static_cast<double>(moved) / static_cast<double>(update.size);
+}
+
+RunStats ReleaseEngine::run(std::span<const Update> updates) {
+  const auto t0 = std::chrono::steady_clock::now();
+  std::size_t pos = 0;
+  while (pos < updates.size()) {
+    const std::size_t end =
+        std::min(pos + options_.batch_size, updates.size());
+    for (std::size_t i = pos; i < end; ++i) {
+      apply(updates[i]);
+    }
+    pos = end;
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  stats_.wall_seconds += std::chrono::duration<double>(t1 - t0).count();
+  stats_.decision_seconds = allocator_->decision_seconds();
+  return stats_;
+}
+
+}  // namespace memreal

@@ -1,0 +1,488 @@
+#include "release/slab_store.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace memreal {
+
+namespace {
+
+constexpr std::size_t kInitialBuckets = 64;
+
+}  // namespace
+
+SlabStore::SlabStore(Tick capacity, Tick eps_ticks, ValidationPolicy policy)
+    : capacity_(capacity), eps_ticks_(eps_ticks), policy_(policy) {
+  MEMREAL_CHECK(capacity > 0);
+  MEMREAL_CHECK_MSG(eps_ticks >= 1,
+                    "eps truncated to zero ticks — the load-factor and "
+                    "resizable-bound checks would be vacuous (see Eps::of)");
+  MEMREAL_CHECK_MSG(eps_ticks < capacity, "eps must be < 1");
+  map_keys_.assign(kInitialBuckets, kNoItem);
+  map_slots_.assign(kInitialBuckets, kNoSlot);
+}
+
+// -- Open-addressed id map --------------------------------------------------
+
+void SlabStore::map_insert(ItemId id, std::uint32_t slot) {
+  // Grow at 5/8 load so probe chains stay short.
+  if ((ids_.size() + 1) * 8 >= map_keys_.size() * 5) map_grow();
+  const std::size_t mask = map_keys_.size() - 1;
+  std::size_t b = static_cast<std::size_t>(mix(id)) & mask;
+  while (map_keys_[b] != kNoItem) b = (b + 1) & mask;
+  map_keys_[b] = id;
+  map_slots_[b] = slot;
+}
+
+void SlabStore::map_set(ItemId id, std::uint32_t slot) {
+  const std::size_t mask = map_keys_.size() - 1;
+  std::size_t b = static_cast<std::size_t>(mix(id)) & mask;
+  while (map_keys_[b] != id) {
+    MEMREAL_CHECK_MSG(map_keys_[b] != kNoItem, "unknown item id " << id);
+    b = (b + 1) & mask;
+  }
+  map_slots_[b] = slot;
+}
+
+void SlabStore::map_erase(ItemId id) {
+  const std::size_t mask = map_keys_.size() - 1;
+  std::size_t b = static_cast<std::size_t>(mix(id)) & mask;
+  while (map_keys_[b] != id) {
+    MEMREAL_CHECK_MSG(map_keys_[b] != kNoItem, "unknown item id " << id);
+    b = (b + 1) & mask;
+  }
+  // Backward-shift deletion: re-seat every entry of the probe chain that
+  // follows the hole, so lookups never need tombstones.
+  std::size_t hole = b;
+  std::size_t next = (b + 1) & mask;
+  while (map_keys_[next] != kNoItem) {
+    const std::size_t home = static_cast<std::size_t>(mix(map_keys_[next])) &
+                             mask;
+    // Move the entry into the hole iff the hole lies on the (cyclic) probe
+    // path from its home bucket to its current bucket.
+    const bool reachable = hole <= next ? (home <= hole || home > next)
+                                        : (home <= hole && home > next);
+    if (reachable) {
+      map_keys_[hole] = map_keys_[next];
+      map_slots_[hole] = map_slots_[next];
+      hole = next;
+    }
+    next = (next + 1) & mask;
+  }
+  map_keys_[hole] = kNoItem;
+  map_slots_[hole] = kNoSlot;
+}
+
+void SlabStore::map_grow() {
+  std::vector<ItemId> old_keys = std::move(map_keys_);
+  std::vector<std::uint32_t> old_slots = std::move(map_slots_);
+  map_keys_.assign(old_keys.size() * 2, kNoItem);
+  map_slots_.assign(old_slots.size() * 2, kNoSlot);
+  const std::size_t mask = map_keys_.size() - 1;
+  for (std::size_t i = 0; i < old_keys.size(); ++i) {
+    if (old_keys[i] == kNoItem) continue;
+    std::size_t b = static_cast<std::size_t>(mix(old_keys[i])) & mask;
+    while (map_keys_[b] != kNoItem) b = (b + 1) & mask;
+    map_keys_[b] = old_keys[i];
+    map_slots_[b] = old_slots[i];
+  }
+}
+
+// -- Ordered index maintenance ----------------------------------------------
+
+std::size_t SlabStore::index_lower_bound(std::size_t lo, std::size_t hi,
+                                         Tick offset, ItemId id) const {
+  const auto first = by_offset_.begin() + static_cast<std::ptrdiff_t>(lo);
+  const auto last = by_offset_.begin() + static_cast<std::ptrdiff_t>(hi);
+  const auto it = std::lower_bound(
+      first, last, std::pair{offset, id},
+      [this](std::uint32_t slot, const std::pair<Tick, ItemId>& key) {
+        return std::pair{offsets_[slot], ids_[slot]} < key;
+      });
+  return static_cast<std::size_t>(it - by_offset_.begin());
+}
+
+void SlabStore::index_reseat(std::size_t pos) {
+  const std::uint32_t slot = by_offset_[pos];
+  const Tick offset = offsets_[slot];
+  const ItemId id = ids_[slot];
+  const auto base = by_offset_.begin();
+  if (pos > 0 && !slot_less(by_offset_[pos - 1], slot)) {
+    // Out of order leftward: slide the entry down to its sorted position.
+    const std::size_t p = index_lower_bound(0, pos, offset, id);
+    std::rotate(base + static_cast<std::ptrdiff_t>(p),
+                base + static_cast<std::ptrdiff_t>(pos),
+                base + static_cast<std::ptrdiff_t>(pos + 1));
+    for (std::size_t i = p; i <= pos; ++i) {
+      index_pos_[by_offset_[i]] = static_cast<std::uint32_t>(i);
+    }
+  } else {
+    // Out of order rightward: entries (pos, p) shift left one.
+    const std::size_t p =
+        index_lower_bound(pos + 1, by_offset_.size(), offset, id);
+    std::rotate(base + static_cast<std::ptrdiff_t>(pos),
+                base + static_cast<std::ptrdiff_t>(pos + 1),
+                base + static_cast<std::ptrdiff_t>(p));
+    for (std::size_t i = pos; i < p; ++i) {
+      index_pos_[by_offset_[i]] = static_cast<std::uint32_t>(i);
+    }
+  }
+}
+
+// -- Transactions -----------------------------------------------------------
+
+void SlabStore::begin_update(Tick update_size, bool is_insert) {
+  MEMREAL_CHECK_MSG(!in_update_, "nested update");
+  MEMREAL_CHECK(update_size > 0);
+  (void)is_insert;  // the load-factor promise is audited, not gated here
+  in_update_ = true;
+  moved_ = 0;
+}
+
+Tick SlabStore::end_update() {
+  MEMREAL_CHECK_MSG(in_update_, "end_update without begin_update");
+  in_update_ = false;
+  total_moved_ += moved_;
+  ++updates_;
+  return moved_;
+}
+
+// -- Layout mutation --------------------------------------------------------
+
+void SlabStore::place(ItemId id, Tick offset, Tick size, Tick extent) {
+  MEMREAL_CHECK_MSG(in_update_, "layout mutation outside an update");
+  MEMREAL_CHECK_MSG(probe(id) == kNoSlot, "item " << id << " already placed");
+  MEMREAL_CHECK(size > 0);
+  if (extent == 0) extent = size;
+  MEMREAL_CHECK(extent >= size);
+  const auto slot = static_cast<std::uint32_t>(ids_.size());
+  ids_.push_back(id);
+  offsets_.push_back(offset);
+  sizes_.push_back(size);
+  extents_.push_back(extent);
+  if (by_offset_.empty() || slot_less(by_offset_.back(), slot)) {
+    // Rightmost placement (every append-style allocator insert): no shift.
+    index_pos_.push_back(static_cast<std::uint32_t>(by_offset_.size()));
+    by_offset_.push_back(slot);
+  } else {
+    const std::size_t pos = index_lower_bound(offset, id);
+    by_offset_.insert(by_offset_.begin() + static_cast<std::ptrdiff_t>(pos),
+                      slot);
+    index_pos_.push_back(static_cast<std::uint32_t>(pos));
+    for (std::size_t i = pos + 1; i < by_offset_.size(); ++i) {
+      index_pos_[by_offset_[i]] = static_cast<std::uint32_t>(i);
+    }
+  }
+  span_add(offset + extent);
+  map_insert(id, slot);
+  live_mass_ += size;
+  extent_mass_ += extent;
+  moved_ += size;
+}
+
+void SlabStore::move_slot(std::uint32_t slot, Tick offset) {
+  const Tick old_offset = offsets_[slot];
+  if (old_offset == offset) return;
+  const Tick extent = extents_[slot];
+  span_drop(old_offset + extent);
+  offsets_[slot] = offset;
+  span_add(offset + extent);
+  // Compaction moves preserve (offset, id) order; only a move that crosses
+  // a neighbor pays the index reseat.
+  const std::size_t pos = index_pos_[slot];
+  const bool ordered =
+      (pos == 0 || slot_less(by_offset_[pos - 1], slot)) &&
+      (pos + 1 == by_offset_.size() || slot_less(slot, by_offset_[pos + 1]));
+  if (!ordered) index_reseat(pos);
+  moved_ += sizes_[slot];
+}
+
+void SlabStore::move_to(ItemId id, Tick offset) {
+  MEMREAL_CHECK_MSG(in_update_, "layout mutation outside an update");
+  move_slot(slot_of(id), offset);
+}
+
+Tick SlabStore::apply_run(std::span<const ItemId> ids, Tick offset) {
+  MEMREAL_CHECK_MSG(in_update_, "layout mutation outside an update");
+  if (ids.size() == ids_.size() && !ids.empty()) {
+    // Full-layout rewrite (every SIMPLE rebuild): the run IS the final
+    // offset order, so by_offset_ can be written directly — no per-move
+    // order checks, no reseat rotations.  Extents >= 1 make the resulting
+    // offsets strictly increasing, and the span is the last item's end.
+    for (std::size_t k = 0; k < ids.size(); ++k) {
+      const std::uint32_t slot = slot_of(ids[k]);
+      if (offsets_[slot] != offset) {
+        offsets_[slot] = offset;
+        moved_ += sizes_[slot];
+      }
+      by_offset_[k] = slot;
+      index_pos_[slot] = static_cast<std::uint32_t>(k);
+      offset += extents_[slot];
+    }
+    span_ = offset;
+    span_dirty_ = false;
+    return offset;
+  }
+  // Partial run (covering-set compaction after a delete): relocations
+  // almost always preserve (offset, id) order, so each move is an order
+  // check plus an offset write; the span resolves once at the end of the
+  // run instead of twice per move.
+  bool any_moved = false;
+  for (const ItemId id : ids) {
+    const std::uint32_t slot = slot_of(id);
+    if (offsets_[slot] != offset) {
+      offsets_[slot] = offset;
+      const std::size_t pos = index_pos_[slot];
+      const bool ordered =
+          (pos == 0 || slot_less(by_offset_[pos - 1], slot)) &&
+          (pos + 1 == by_offset_.size() ||
+           slot_less(slot, by_offset_[pos + 1]));
+      if (!ordered) index_reseat(pos);
+      moved_ += sizes_[slot];
+      any_moved = true;
+    }
+    offset += extents_[slot];
+  }
+  if (any_moved) {
+    // Run items are extent-contiguous by construction, so the run's max
+    // end is the final `offset`; when the span was clean and the run
+    // reaches at or past it, every surviving end is <= `offset` and the
+    // span is exact.  A run ending short may have moved the old maximum
+    // down — recompute lazily.
+    if (!span_dirty_ && offset >= span_) {
+      span_ = offset;
+    } else {
+      span_dirty_ = true;
+    }
+  }
+  return offset;
+}
+
+void SlabStore::reset_extents(std::span<const ItemId> ids) {
+  MEMREAL_CHECK_MSG(in_update_, "layout mutation outside an update");
+  if (ids.size() == ids_.size() && !ids.empty()) {
+    // Whole-layout revert (step 1 of every SIMPLE rebuild): one linear
+    // pass over the slot arrays instead of one id probe per item.
+    for (std::size_t slot = 0; slot < ids_.size(); ++slot) {
+      extent_mass_ += sizes_[slot];
+      extent_mass_ -= extents_[slot];
+      extents_[slot] = sizes_[slot];
+    }
+    span_dirty_ = true;  // deflation can shrink the rightmost end
+    return;
+  }
+  for (const ItemId id : ids) reset_extent(id);
+}
+
+void SlabStore::set_extent(ItemId id, Tick extent) {
+  MEMREAL_CHECK_MSG(in_update_, "layout mutation outside an update");
+  const std::uint32_t slot = slot_of(id);
+  MEMREAL_CHECK_MSG(extent >= sizes_[slot], "extent " << extent
+                                                      << " below true size "
+                                                      << sizes_[slot]);
+  const Tick offset = offsets_[slot];
+  span_drop(offset + extents_[slot]);
+  span_add(offset + extent);
+  extent_mass_ += extent;
+  extent_mass_ -= extents_[slot];
+  extents_[slot] = extent;
+}
+
+void SlabStore::reset_extent(ItemId id) {
+  MEMREAL_CHECK_MSG(in_update_, "layout mutation outside an update");
+  const std::uint32_t slot = slot_of(id);
+  const Tick offset = offsets_[slot];
+  const Tick size = sizes_[slot];
+  span_drop(offset + extents_[slot]);
+  span_add(offset + size);
+  extent_mass_ += size;
+  extent_mass_ -= extents_[slot];
+  extents_[slot] = size;
+}
+
+void SlabStore::remove(ItemId id) {
+  MEMREAL_CHECK_MSG(in_update_, "layout mutation outside an update");
+  const std::uint32_t slot = slot_of(id);
+  live_mass_ -= sizes_[slot];
+  extent_mass_ -= extents_[slot];
+  span_drop(offsets_[slot] + extents_[slot]);
+  const std::size_t pos = index_pos_[slot];
+  by_offset_.erase(by_offset_.begin() + static_cast<std::ptrdiff_t>(pos));
+  for (std::size_t i = pos; i < by_offset_.size(); ++i) {
+    index_pos_[by_offset_[i]] = static_cast<std::uint32_t>(i);
+  }
+  map_erase(id);
+  // Swap-with-last keeps the record arrays dense; the moved record's map
+  // and index entries must be re-pointed at its new slot.
+  const auto last = static_cast<std::uint32_t>(ids_.size() - 1);
+  if (slot != last) {
+    ids_[slot] = ids_[last];
+    offsets_[slot] = offsets_[last];
+    sizes_[slot] = sizes_[last];
+    extents_[slot] = extents_[last];
+    index_pos_[slot] = index_pos_[last];
+    by_offset_[index_pos_[slot]] = slot;
+    map_set(ids_[slot], slot);
+  }
+  ids_.pop_back();
+  offsets_.pop_back();
+  sizes_.pop_back();
+  extents_.pop_back();
+  index_pos_.pop_back();
+}
+
+// -- Span cache -------------------------------------------------------------
+
+void SlabStore::recompute_span() const {
+  Tick m = 0;
+  for (std::size_t s = 0; s < offsets_.size(); ++s) {
+    m = std::max(m, offsets_[s] + extents_[s]);
+  }
+  span_ = m;
+  span_dirty_ = false;
+}
+
+// -- Ordered queries --------------------------------------------------------
+
+std::optional<PlacedItem> SlabStore::item_at(Tick offset) const {
+  // upper_bound on (offset, kNoItem): the first entry strictly past every
+  // id at `offset` — mirror of Memory::item_at.
+  std::size_t pos = index_lower_bound(offset, kNoItem);
+  if (pos < by_offset_.size() && offsets_[by_offset_[pos]] == offset &&
+      ids_[by_offset_[pos]] == kNoItem) {
+    ++pos;  // unreachable in practice (kNoItem is never placed), but exact
+  }
+  if (pos == 0) return std::nullopt;
+  const std::uint32_t slot = by_offset_[pos - 1];
+  if (offsets_[slot] + extents_[slot] > offset) return placed(slot);
+  return std::nullopt;
+}
+
+std::optional<PlacedItem> SlabStore::first_at_or_after(Tick offset) const {
+  const std::size_t pos = index_lower_bound(offset, ItemId{0});
+  if (pos == by_offset_.size()) return std::nullopt;
+  return placed(by_offset_[pos]);
+}
+
+std::optional<PlacedItem> SlabStore::last_before(Tick offset) const {
+  const std::size_t pos = index_lower_bound(offset, ItemId{0});
+  if (pos == 0) return std::nullopt;
+  return placed(by_offset_[pos - 1]);
+}
+
+std::optional<PlacedItem> SlabStore::first_item() const {
+  if (by_offset_.empty()) return std::nullopt;
+  return placed(by_offset_.front());
+}
+
+std::optional<PlacedItem> SlabStore::last_item() const {
+  if (by_offset_.empty()) return std::nullopt;
+  return placed(by_offset_.back());
+}
+
+SlabStore::Neighbors SlabStore::neighbors_of(ItemId id) const {
+  const std::uint32_t slot = slot_of(id);
+  const std::size_t pos = index_pos_[slot];
+  Neighbors out;
+  if (pos > 0) out.prev = placed(by_offset_[pos - 1]);
+  if (pos + 1 < by_offset_.size()) out.next = placed(by_offset_[pos + 1]);
+  return out;
+}
+
+std::vector<PlacedItem> SlabStore::items_in(Tick from, Tick to) const {
+  std::vector<PlacedItem> out;
+  for (std::size_t pos = index_lower_bound(from, ItemId{0});
+       pos < by_offset_.size() && offsets_[by_offset_[pos]] < to; ++pos) {
+    out.push_back(placed(by_offset_[pos]));
+  }
+  return out;
+}
+
+std::vector<PlacedItem> SlabStore::snapshot() const {
+  std::vector<PlacedItem> out;
+  out.reserve(by_offset_.size());
+  for (const std::uint32_t slot : by_offset_) out.push_back(placed(slot));
+  return out;
+}
+
+std::vector<std::pair<Tick, Tick>> SlabStore::gaps() const {
+  std::vector<std::pair<Tick, Tick>> out;
+  Tick cursor = 0;
+  for (const std::uint32_t slot : by_offset_) {
+    const Tick offset = offsets_[slot];
+    if (offset > cursor) out.emplace_back(cursor, offset - cursor);
+    cursor = std::max(cursor, offset + extents_[slot]);
+  }
+  return out;
+}
+
+// -- Validation -------------------------------------------------------------
+
+void SlabStore::audit() const {
+  MEMREAL_CHECK_MSG(ids_.size() == offsets_.size() &&
+                        ids_.size() == sizes_.size() &&
+                        ids_.size() == extents_.size(),
+                    "SoA array size drift");
+  MEMREAL_CHECK_MSG(by_offset_.size() == ids_.size(),
+                    "by-offset index size drift");
+  MEMREAL_CHECK_MSG(index_pos_.size() == ids_.size(),
+                    "position-cache size drift");
+
+  Tick live = 0;
+  Tick ext = 0;
+  Tick prev_end = 0;
+  Tick max_end = 0;
+  ItemId prev_id = kNoItem;
+  Tick prev_offset = 0;
+  for (std::size_t pos = 0; pos < by_offset_.size(); ++pos) {
+    const std::uint32_t slot = by_offset_[pos];
+    MEMREAL_CHECK_MSG(slot < ids_.size(), "by-offset index slot drift");
+    MEMREAL_CHECK_MSG(index_pos_[slot] == pos,
+                      "position-cache drift for item " << ids_[slot]);
+    const ItemId id = ids_[slot];
+    const Tick offset = offsets_[slot];
+    const Tick size = sizes_[slot];
+    const Tick extent = extents_[slot];
+    if (pos > 0) {
+      MEMREAL_CHECK_MSG(
+          (std::pair{prev_offset, prev_id} < std::pair{offset, id}),
+          "by-offset index out of order at item " << id);
+    }
+    MEMREAL_CHECK_MSG(offset >= prev_end,
+                      "overlap: item " << id << " at [" << offset << ", "
+                                       << offset + extent
+                                       << ") intersects item " << prev_id
+                                       << " ending at " << prev_end);
+    MEMREAL_CHECK(extent >= size);
+    MEMREAL_CHECK_MSG(probe(id) == slot, "id-map drift for item " << id);
+    prev_end = offset + extent;
+    max_end = std::max(max_end, prev_end);
+    prev_id = id;
+    prev_offset = offset;
+    live += size;
+    ext += extent;
+  }
+  MEMREAL_CHECK_MSG(live == live_mass_, "live-mass accounting drift");
+  MEMREAL_CHECK_MSG(ext == extent_mass_, "extent-mass accounting drift");
+  MEMREAL_CHECK_MSG(span_end() == max_end, "span-cache drift");
+
+  MEMREAL_CHECK_MSG(max_end <= capacity_, "layout beyond capacity");
+  if (policy_.check_resizable_bound) {
+    MEMREAL_CHECK_MSG(max_end <= live_mass_ + eps_ticks_,
+                      "resizable bound violated: span "
+                          << max_end << " > L + eps = "
+                          << live_mass_ + eps_ticks_);
+  }
+  if (policy_.check_load_factor) {
+    MEMREAL_CHECK_MSG(live_mass_ + eps_ticks_ <= capacity_,
+                      "load factor above 1 - eps");
+  }
+}
+
+void SlabStore::debug_corrupt_first_offset(Tick delta) {
+  MEMREAL_CHECK_MSG(!by_offset_.empty(), "nothing to corrupt");
+  offsets_[by_offset_.front()] += delta;
+}
+
+}  // namespace memreal

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <functional>
 #include <limits>
+#include <map>
 
 #include "harness/experiment.h"
 #include "util/table.h"
@@ -376,6 +377,35 @@ void eval_tval(const BenchFile& f, Checker& c, std::string& headline) {
              std::to_string(largest_n);
 }
 
+// T-REL — the unchecked release engine delivers the promised speedup over
+// the validated engine on the S = 1 single-thread head-to-head.
+void eval_trel(const BenchFile& f, Checker& c, std::string& headline) {
+  const Json* rec = require_series(f, "engine-throughput", c);
+  if (rec == nullptr) return;
+  double validated = 0;
+  double release = 0;
+  for (const auto& [key, row] : rec->at("rows").items()) {
+    (void)key;
+    const double rate = row.at("updates_per_second").as_double();
+    if (row.at("engine").as_string() == "validated") validated = rate;
+    if (row.at("engine").as_string() == "release") release = rate;
+  }
+  if (validated <= 0 || release <= 0) {
+    c.fail("engine-throughput: need validated and release rows with "
+           "positive updates/sec");
+    return;
+  }
+  const double speedup = release / validated;
+  // Fast-mode sweeps run far fewer updates, so fixed per-run costs eat
+  // into the measured ratio; the bar drops accordingly.
+  const double bar = f.fast_mode ? 5.0 : 10.0;
+  c.check(speedup >= bar,
+          "release/validated updates-per-second ratio " + num(speedup, 3) +
+              " >= " + num(bar, 1) + "x at S = 1" +
+              (f.fast_mode ? " (fast mode)" : ""));
+  headline = num(speedup, 3) + "x release over validated";
+}
+
 using EvalFn = void (*)(const BenchFile&, Checker&, std::string&);
 
 struct ClaimRule {
@@ -429,6 +459,10 @@ const std::vector<ClaimRule>& claim_rules() {
         "verified runs cost O(log n) per update, not O(n log n): >= 10x "
         "over the per-update full audit"},
        eval_tval},
+      {{"T-REL", "Release engine throughput", "shard", "repo trajectory",
+        "the unchecked slab fast path sustains >= 10x validated "
+        "updates/sec at S = 1 (>= 5x in fast mode)"},
+       eval_trel},
   };
   return kRules;
 }
@@ -451,6 +485,92 @@ const std::vector<ClaimSpec>& claim_specs() {
     return specs;
   }();
   return kSpecs;
+}
+
+namespace {
+
+/// updates/sec per point key for one series' rows.  The key is the
+/// `key_field` value rendered as a string (engine name, shard count).
+std::map<std::string, double> floor_points(const Json& rec,
+                                           const std::string& key_field) {
+  std::map<std::string, double> points;
+  for (const auto& [idx, row] : rec.at("rows").items()) {
+    (void)idx;
+    const Json& key = row.at(key_field);
+    const std::string name =
+        key.is_string() ? key.as_string() : std::to_string(key.as_u64());
+    points[name] = row.at("updates_per_second").as_double();
+  }
+  return points;
+}
+
+}  // namespace
+
+FloorResult check_throughput_floor(const BenchSet& current,
+                                   const BenchFile& baseline,
+                                   double floor_ratio) {
+  FloorResult out;
+  auto fail = [&](const std::string& what) {
+    out.lines.push_back("FAIL: " + what);
+    out.ok = false;
+  };
+  const BenchFile* cur = current.find("shard");
+  if (cur == nullptr) {
+    fail("BENCH_shard.json not found in the bench dir — run bench_shard");
+    return out;
+  }
+  if (cur->fast_mode != baseline.fast_mode) {
+    out.lines.push_back(
+        std::string("note: fast-mode mismatch (current ") +
+        (cur->fast_mode ? "fast" : "full") + ", floor " +
+        (baseline.fast_mode ? "fast" : "full") +
+        ") — updates/sec is a rate, comparison proceeds");
+  }
+  struct SeriesSpec {
+    const char* series;
+    const char* key_field;
+    const char* label;
+  };
+  constexpr SeriesSpec kSeries[] = {
+      {"engine-throughput", "engine", "engine "},
+      {"shard-scaling", "shards", "S = "},
+  };
+  for (const SeriesSpec& s : kSeries) {
+    const Json* brec = baseline.find_series(s.series);
+    const Json* crec = cur->find_series(s.series);
+    if (brec == nullptr) {
+      out.lines.push_back(std::string("note: floor artifact ") +
+                          baseline.path + " has no \"" + s.series +
+                          "\" series — skipped");
+      continue;
+    }
+    if (crec == nullptr) {
+      fail(std::string("series \"") + s.series + "\" missing from " +
+           cur->path + " but present in the floor artifact");
+      continue;
+    }
+    const std::map<std::string, double> floors =
+        floor_points(*brec, s.key_field);
+    const std::map<std::string, double> rates =
+        floor_points(*crec, s.key_field);
+    for (const auto& [key, base] : floors) {
+      const auto it = rates.find(key);
+      if (it == rates.end()) {
+        out.lines.push_back("note: " + std::string(s.label) + key +
+                            " in the floor artifact has no current point");
+        continue;
+      }
+      const double floor = base * floor_ratio;
+      const bool ok = it->second >= floor;
+      std::string line =
+          std::string(s.series) + " " + s.label + key + ": " +
+          num(it->second, 6) + " updates/s vs floor " + num(floor, 6) +
+          " (" + num(floor_ratio, 3) + " x " + num(base, 6) + ")";
+      out.lines.push_back((ok ? "ok: " : "FAIL: ") + line);
+      out.ok &= ok;
+    }
+  }
+  return out;
 }
 
 std::vector<ClaimResult> evaluate_claims(const BenchSet& set) {

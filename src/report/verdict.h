@@ -51,4 +51,22 @@ struct ClaimResult {
 /// present file surface as kFail with the error in `checks`.
 [[nodiscard]] std::vector<ClaimResult> evaluate_claims(const BenchSet& set);
 
+/// Outcome of the throughput-floor gate (memreal_report --shard-floor).
+struct FloorResult {
+  bool ok = true;
+  /// One line per compared point, prefixed "ok: " / "FAIL: " (plus
+  /// informational "note: " lines, e.g. a fast/full mode mismatch).
+  std::vector<std::string> lines;
+};
+
+/// Cross-artifact throughput regression gate: every updates/sec point in
+/// the current BENCH_shard.json (engine-throughput rows keyed by engine,
+/// shard-scaling rows keyed by shard count) must reach at least
+/// `floor_ratio` of the matching point in the `baseline` artifact from an
+/// earlier run.  Points present only on one side are noted, not failed —
+/// except a current file or series missing entirely, which fails.
+[[nodiscard]] FloorResult check_throughput_floor(const BenchSet& current,
+                                                 const BenchFile& baseline,
+                                                 double floor_ratio);
+
 }  // namespace memreal::report

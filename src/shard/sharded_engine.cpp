@@ -76,6 +76,7 @@ ShardedEngine::ShardedEngine(const ShardedConfig& config)
   shard_budget_ = config.shard_capacity - eps_ticks;
 
   CellConfig cell;
+  cell.engine = config.engine;
   cell.allocator = config.allocator;
   cell.params = config.params;
   cell.incremental_validation = config.incremental_validation;
@@ -84,8 +85,7 @@ ShardedEngine::ShardedEngine(const ShardedConfig& config)
   cells_.reserve(config.shards);
   for (std::size_t s = 0; s < config.shards; ++s) {
     cell.params.seed = shard_seed(config.params.seed, s);
-    cells_.push_back(std::make_unique<ValidatedCell>(
-        config.shard_capacity, eps_ticks, cell));
+    cells_.push_back(make_cell(config.shard_capacity, eps_ticks, cell));
   }
   live_mass_.assign(config.shards, 0);
   pending_.resize(config.shards);
@@ -100,17 +100,16 @@ std::size_t ShardedEngine::least_loaded() const {
 }
 
 std::size_t ShardedEngine::shard_of(ItemId id) const {
-  const auto it = placement_.find(id);
-  MEMREAL_CHECK_MSG(it != placement_.end(),
-                    "shard_of: item " << id << " is not live");
-  return it->second;
+  const std::size_t* s = placement_.find(id);
+  MEMREAL_CHECK_MSG(s != nullptr, "shard_of: item " << id << " is not live");
+  return *s;
 }
 
 void ShardedEngine::route_batch(std::span<const Update> batch) {
   for (const Update& u : batch) {
     std::size_t s;
     if (u.is_insert()) {
-      MEMREAL_CHECK_MSG(placement_.count(u.id) == 0,
+      MEMREAL_CHECK_MSG(!placement_.contains(u.id),
                         "insert of already-live item " << u.id);
       s = router_->route(u.id, u.size);
       MEMREAL_CHECK_MSG(
@@ -128,14 +127,13 @@ void ShardedEngine::route_batch(std::span<const Update> batch) {
         s = fallback;
         ++fallback_routes_;
       }
-      placement_.emplace(u.id, s);
+      placement_[u.id] = s;
       live_mass_[s] += u.size;
     } else {
-      const auto it = placement_.find(u.id);
-      MEMREAL_CHECK_MSG(it != placement_.end(),
-                        "delete of absent item " << u.id);
-      s = it->second;
-      placement_.erase(it);
+      const std::size_t* at = placement_.find(u.id);
+      MEMREAL_CHECK_MSG(at != nullptr, "delete of absent item " << u.id);
+      s = *at;
+      placement_.erase(u.id);
       live_mass_[s] -= u.size;
     }
     pending_[s].push_back(u);
@@ -146,7 +144,7 @@ void ShardedEngine::apply_batch() {
   for (std::size_t s = 0; s < cells_.size(); ++s) {
     if (pending_[s].empty()) continue;
     pool_.submit([this, s] {
-      cells_[s]->engine().run(
+      cells_[s]->run(
           std::span<const Update>(pending_[s].data(), pending_[s].size()));
     });
   }
@@ -179,18 +177,17 @@ ShardedRunStats ShardedEngine::run(const Sequence& seq) {
 void ShardedEngine::migrate(ItemId id, std::size_t to_shard) {
   MEMREAL_CHECK_MSG(to_shard < cells_.size(),
                     "migrate: shard " << to_shard << " of " << cells_.size());
-  const auto it = placement_.find(id);
-  MEMREAL_CHECK_MSG(it != placement_.end(),
-                    "migrate: item " << id << " is not live");
-  const std::size_t from = it->second;
+  std::size_t* at = placement_.find(id);
+  MEMREAL_CHECK_MSG(at != nullptr, "migrate: item " << id << " is not live");
+  const std::size_t from = *at;
   if (from == to_shard) return;
   const Tick size = cells_[from]->memory().size_of(id);
   MEMREAL_CHECK_MSG(live_mass_[to_shard] + size <= shard_budget_,
                     "migrate: item " << id << " of size " << size
                                      << " does not fit shard " << to_shard);
-  cells_[from]->engine().step(Update::erase(id, size));
-  cells_[to_shard]->engine().step(Update::insert(id, size));
-  it->second = to_shard;
+  cells_[from]->step(Update::erase(id, size));
+  cells_[to_shard]->step(Update::insert(id, size));
+  *at = to_shard;
   live_mass_[from] -= size;
   live_mass_[to_shard] += size;
   ++migrations_;
@@ -233,8 +230,7 @@ std::size_t ShardedEngine::rebalance(double threshold) {
 
 void ShardedEngine::audit() const {
   for (const auto& cell : cells_) {
-    cell->memory().audit();
-    cell->allocator().check_invariants();
+    cell->audit();
   }
 }
 
@@ -243,7 +239,7 @@ ShardedRunStats ShardedEngine::stats() const {
   out.shards = cells_.size();
   out.per_shard.reserve(cells_.size());
   for (const auto& cell : cells_) {
-    out.per_shard.push_back(cell->engine().stats());
+    out.per_shard.push_back(cell->stats());
     out.global.merge(out.per_shard.back());
   }
   // merge() sums the per-shard walls; the sharded wall is the parallel

@@ -19,9 +19,12 @@
 //     each cell sees a well-formed single-cell sequence.  Cells share
 //     nothing; the final state is a pure function of (sequence, config)
 //     and in particular independent of the thread count.
-//   * Every cell keeps the full validation stack (incremental per-update
-//     checks, optional audit cadence, allocator self-checks) — a sharded
-//     run is as verified as S single-cell runs.
+//   * With the default "validated" engine every cell keeps the full
+//     validation stack (incremental per-update checks, optional audit
+//     cadence, allocator self-checks) — a sharded run is as verified as S
+//     single-cell runs.  With engine = "release" the cells run the
+//     unchecked SlabStore fast path (harness/cell.h); audit() remains an
+//     explicit full check.
 //
 // With S = 1 and the same allocator seed, ShardedEngine is update-for-
 // update identical to a plain Engine run: one shard, every update routed
@@ -38,12 +41,13 @@
 #include <cstddef>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "alloc/registry.h"
 #include "core/run_stats.h"
-#include "harness/validated_run.h"
+#include "harness/cell.h"
+#include "mem/memory.h"
+#include "util/flat_map.h"
 #include "shard/router.h"
 #include "util/parallel.h"
 #include "workload/sequence.h"
@@ -51,6 +55,9 @@
 namespace memreal {
 
 struct ShardedConfig {
+  /// Cell engine flavor for every shard: "validated" or "release" (see
+  /// harness/cell.h).
+  std::string engine = "validated";
   std::string allocator;   ///< registry name, used for every cell
   AllocatorParams params;  ///< shard 0 runs params.seed verbatim; shard
                            ///< s > 0 derives an independent stream from it
@@ -129,7 +136,7 @@ class ShardedEngine {
   }
   /// Which shard a live item is placed on; throws for absent ids.
   [[nodiscard]] std::size_t shard_of(ItemId id) const;
-  [[nodiscard]] Memory& memory(std::size_t shard) {
+  [[nodiscard]] LayoutStore& memory(std::size_t shard) {
     return cells_.at(shard)->memory();
   }
   [[nodiscard]] Allocator& allocator(std::size_t shard) {
@@ -146,12 +153,12 @@ class ShardedEngine {
   ShardedConfig config_;
   Tick shard_budget_ = 0;  ///< per-shard capacity - eps_ticks
   std::unique_ptr<Router> router_;
-  std::vector<std::unique_ptr<ValidatedCell>> cells_;
+  std::vector<std::unique_ptr<Cell>> cells_;
   ThreadPool pool_;
 
   /// id -> shard for every live item (routing map; deletes and migrations
   /// follow it).
-  std::unordered_map<ItemId, std::size_t> placement_;
+  FlatIdMap<std::size_t> placement_;
   /// Tracked live mass per shard; exact mirror of the cells' live_mass()
   /// at batch boundaries, maintained through routing so admission checks
   /// never lag behind the apply phase.

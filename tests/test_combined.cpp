@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "alloc/combined.h"
+#include "mem/memory.h"
 #include "testing.h"
 #include "workload/adversarial.h"
 #include "workload/churn.h"

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/engine.h"
+#include "mem/memory.h"
 #include "testing.h"
 #include "util/check.h"
 
@@ -15,7 +16,7 @@ namespace {
 /// predictable costs for accounting tests.
 class AppendCompact final : public Allocator {
  public:
-  explicit AppendCompact(Memory& mem) : mem_(&mem) {}
+  explicit AppendCompact(LayoutStore& mem) : mem_(&mem) {}
 
   void insert(ItemId id, Tick size) override {
     const Tick off = order_.empty() ? 0 : mem_->end_of(order_.back());
@@ -40,7 +41,7 @@ class AppendCompact final : public Allocator {
   }
 
  private:
-  Memory* mem_;
+  LayoutStore* mem_;
   std::vector<ItemId> order_;
 };
 

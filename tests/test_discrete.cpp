@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "alloc/discrete.h"
+#include "mem/memory.h"
 #include "testing.h"
 #include "util/fit.h"
 #include "workload/churn.h"

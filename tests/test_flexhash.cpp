@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "alloc/flexhash.h"
+#include "mem/memory.h"
 #include "testing.h"
 #include "workload/churn.h"
 

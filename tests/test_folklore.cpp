@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "alloc/folklore.h"
+#include "mem/memory.h"
 #include "testing.h"
 #include "workload/adversarial.h"
 #include "workload/churn.h"

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "alloc/geo.h"
+#include "mem/memory.h"
 #include "testing.h"
 #include "workload/adversarial.h"
 #include "workload/churn.h"
@@ -14,7 +15,7 @@ namespace {
 
 constexpr Tick kCap = Tick{1} << 50;
 
-GeoAllocator make_geo(Memory& mem, double eps, std::uint64_t seed = 9) {
+GeoAllocator make_geo(LayoutStore& mem, double eps, std::uint64_t seed = 9) {
   GeoConfig c;
   c.eps = eps;
   c.seed = seed;

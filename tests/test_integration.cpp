@@ -6,6 +6,7 @@
 
 #include <cmath>
 
+#include "mem/memory.h"
 #include "testing.h"
 #include "util/fit.h"
 #include "workload/adversarial.h"

@@ -14,6 +14,7 @@
 
 #include <cmath>
 
+#include "mem/memory.h"
 #include "testing.h"
 #include "workload/churn.h"
 #include "workload/random_item.h"

@@ -1,105 +1,30 @@
 // Registry smoke test: every allocator name that the registry exposes must
-// construct via make_allocator and survive a ~100-update random sequence
-// under exhaustive memory validation and per-update invariant checks.
+// construct via make_allocator and survive a ~100-update random sequence —
+// on BOTH cell engines.  The validated engine runs exhaustive memory
+// validation and per-update invariant checks; the release engine runs the
+// unchecked fast path with a final full audit.  Parameterizing over
+// engine_names() means any future registry allocator is smoke-tested on
+// the fast path for free.
 //
 // Each allocator only guarantees behaviour on its admissible size regime,
-// so the workload is chosen per name below.  Registering a new allocator
-// without adding a mapping here fails the test — new names can never land
-// without minimal coverage.
+// so the workload is chosen per name (tests/testing.h regime_sequence) —
+// registering a new allocator without adding a mapping there fails the
+// test, so new names can never land without minimal coverage.
 #include <gtest/gtest.h>
 
 #include <algorithm>
-#include <cmath>
 #include <string>
 
 #include "alloc/registry.h"
+#include "harness/cell.h"
+#include "mem/memory.h"
 #include "testing.h"
-#include "workload/adversarial.h"
-#include "workload/churn.h"
-#include "workload/random_item.h"
 
 namespace memreal {
 namespace {
 
 constexpr Tick kCap = Tick{1} << 50;
 constexpr std::size_t kUpdates = 100;
-
-struct SmokeCase {
-  std::string allocator;
-  double eps = 1.0 / 32;
-  double delta = 0.0;
-};
-
-Sequence smoke_sequence(const SmokeCase& c, std::uint64_t seed) {
-  const std::string& name = c.allocator;
-  if (name == "folklore-compact" || name == "folklore-windowed" ||
-      name == "simple") {
-    return make_simple_regime(kCap, c.eps, kUpdates, seed);
-  }
-  if (name == "geo") {
-    GeoRegimeConfig g;
-    g.capacity = kCap;
-    g.eps = c.eps;
-    g.churn_updates = kUpdates;
-    g.huge_fraction = 0.05;
-    g.seed = seed;
-    return make_geo_regime(g);
-  }
-  if (name == "tinyslab" || name == "flexhash") {
-    // Tiny-item churn: sizes in (0, eps^4] of capacity.
-    const auto cap_d = static_cast<double>(kCap);
-    const auto tiny_hi = static_cast<Tick>(std::pow(c.eps, 4.0) * cap_d);
-    ChurnConfig cc;
-    cc.capacity = kCap;
-    cc.eps = c.eps;
-    cc.min_size = std::max<Tick>(1, tiny_hi / 1024);
-    cc.max_size = tiny_hi;
-    cc.target_load =
-        std::min(0.5, 2000.0 * static_cast<double>(cc.max_size) / cap_d);
-    cc.churn_updates = kUpdates;
-    cc.seed = seed;
-    return make_churn(cc);
-  }
-  if (name == "combined") {
-    MixedTinyLargeConfig m;
-    m.capacity = kCap;
-    m.eps = c.eps;
-    m.churn_updates = kUpdates;
-    m.seed = seed;
-    return make_mixed_tiny_large(m);
-  }
-  if (name == "rsum") {
-    RandomItemConfig r;
-    r.capacity = kCap;
-    r.eps = c.eps;
-    r.delta = c.delta;
-    r.churn_pairs = kUpdates / 2;
-    r.seed = seed;
-    return make_random_item_sequence(r);
-  }
-  if (name == "discrete") {
-    DiscreteChurnConfig d;
-    d.capacity = kCap;
-    d.eps = c.eps;
-    d.churn_updates = kUpdates;
-    d.seed = seed;
-    return make_discrete_churn(d);
-  }
-  ADD_FAILURE() << "allocator '" << name
-                << "' is registered but has no smoke workload; add one to "
-                   "tests/test_registry_smoke.cpp";
-  return Sequence{};
-}
-
-SmokeCase smoke_case(const std::string& name) {
-  SmokeCase c;
-  c.allocator = name;
-  if (name == "rsum") {
-    c.eps = 1.0 / 256;
-    c.delta = 1.0 / 128;
-  }
-  return c;
-}
 
 TEST(RegistrySmoke, NamesAreUniqueAndFactoriesResolve) {
   auto names = allocator_names();
@@ -113,19 +38,34 @@ TEST(RegistrySmoke, NamesAreUniqueAndFactoriesResolve) {
   }
 }
 
-TEST(RegistrySmoke, EveryRegisteredAllocatorSurvivesValidatedRandomRun) {
+class RegistrySmokePerEngine
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(RegistrySmokePerEngine, EveryRegisteredAllocatorSurvivesRandomRun) {
+  const std::string& engine = GetParam();
   for (const auto& name : allocator_names()) {
     SCOPED_TRACE(name);
-    const SmokeCase c = smoke_case(name);
-    const Sequence seq = smoke_sequence(c, /*seed=*/17);
+    const testing::RegimeCase c = testing::regime_case(name);
+    const Sequence seq = testing::regime_sequence(c, kCap, kUpdates,
+                                                  /*seed=*/17);
     ASSERT_GE(seq.size(), kUpdates) << "workload too short for " << name;
     seq.check_well_formed();
-    const RunStats stats =
-        testing::run_with_invariants(name, seq, /*seed=*/17, c.delta,
-                                     /*check_every=*/1);
+    RunStats stats;
+    if (engine == "validated") {
+      // Keep the historical exhaustive mode: audit + allocator
+      // check_invariants at every update, not just at run end.
+      stats = testing::run_with_invariants(name, seq, /*seed=*/17, c.delta,
+                                           /*check_every=*/1);
+    } else {
+      stats = testing::run_cell(engine, name, seq, /*seed=*/17, c.delta);
+    }
     EXPECT_EQ(stats.updates, seq.size());
   }
 }
+
+INSTANTIATE_TEST_SUITE_P(AllEngines, RegistrySmokePerEngine,
+                         ::testing::ValuesIn(engine_names()),
+                         [](const auto& info) { return info.param; });
 
 TEST(RegistrySmoke, UnknownAllocatorErrorListsRegisteredNames) {
   for (const auto* lookup : {"factory", "info"}) {

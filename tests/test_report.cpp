@@ -414,5 +414,217 @@ TEST(Markdown, DanglingBeginMarkerThrows) {
                ReportError);
 }
 
+// -- release-engine claim (T-REL) and throughput floor --------------------
+
+/// "engine-throughput" series record: one row per (engine, rate) pair.
+Json engine_throughput_record(
+    const std::vector<std::pair<std::string, double>>& rates) {
+  Json rows = Json::array();
+  for (const auto& [engine, rate] : rates) {
+    Json row = Json::object();
+    row.set("engine", engine)
+        .set("shards", std::uint64_t{1})
+        .set("threads", std::uint64_t{1})
+        .set("updates_per_second", rate);
+    rows.push(std::move(row));
+  }
+  Json rec = Json::object();
+  rec.set("kind", "engine_throughput")
+      .set("claim", "T-REL")
+      .set("series", "engine-throughput")
+      .set("rows", std::move(rows));
+  return rec;
+}
+
+/// "shard-scaling" series record: one row per (shard count, rate) pair.
+Json shard_scaling_record(
+    const std::vector<std::pair<std::uint64_t, double>>& rates) {
+  Json rows = Json::array();
+  for (const auto& [shards, rate] : rates) {
+    Json row = Json::object();
+    row.set("shards", shards).set("updates_per_second", rate);
+    rows.push(std::move(row));
+  }
+  Json rec = Json::object();
+  rec.set("kind", "shard_scaling")
+      .set("claim", "T9")
+      .set("series", "shard-scaling")
+      .set("rows", std::move(rows));
+  return rec;
+}
+
+TEST(Verdict, ReleaseClaimPassesAtFastModeBar) {
+  TempDir dir;
+  Json records = Json::array();
+  // 6x beats the fast-mode bar of 5x (write_bench_file sets
+  // fast_mode = true).
+  records.push(
+      engine_throughput_record({{"validated", 100000.0}, {"release", 600000.0}}));
+  write_bench_file(dir.path, "shard", std::move(records));
+  const auto rs =
+      report::evaluate_claims(report::load_bench_dir(dir.path.string()));
+  const ClaimResult& r = result_for(rs, "T-REL");
+  EXPECT_EQ(r.status, Status::kPass);
+  EXPECT_NE(r.headline.find("release over validated"), std::string::npos)
+      << r.headline;
+}
+
+TEST(Verdict, ReleaseClaimFailsBelowFastModeBar) {
+  TempDir dir;
+  Json records = Json::array();
+  records.push(
+      engine_throughput_record({{"validated", 100000.0}, {"release", 300000.0}}));
+  write_bench_file(dir.path, "shard", std::move(records));
+  const auto rs =
+      report::evaluate_claims(report::load_bench_dir(dir.path.string()));
+  EXPECT_EQ(result_for(rs, "T-REL").status, Status::kFail);
+}
+
+TEST(Verdict, ReleaseClaimFailsWithoutBothEngines) {
+  TempDir dir;
+  Json records = Json::array();
+  records.push(engine_throughput_record({{"validated", 100000.0}}));
+  write_bench_file(dir.path, "shard", std::move(records));
+  const auto rs =
+      report::evaluate_claims(report::load_bench_dir(dir.path.string()));
+  const ClaimResult& r = result_for(rs, "T-REL");
+  EXPECT_EQ(r.status, Status::kFail);
+  ASSERT_FALSE(r.checks.empty());
+  EXPECT_NE(r.checks.back().find("need validated and release"),
+            std::string::npos);
+}
+
+TEST(Floor, PassesWhenCurrentRatesHoldTheFloor) {
+  TempDir base_dir, cur_dir;
+  Json base = Json::array();
+  base.push(
+      engine_throughput_record({{"validated", 100000.0}, {"release", 1.0e6}}));
+  base.push(shard_scaling_record({{1, 500000.0}, {4, 900000.0}}));
+  const std::string base_path =
+      write_bench_file(base_dir.path, "shard", std::move(base));
+
+  Json cur = Json::array();
+  // Slightly slower than baseline but above a 0.9 floor.
+  cur.push(
+      engine_throughput_record({{"validated", 98000.0}, {"release", 0.95e6}}));
+  cur.push(shard_scaling_record({{1, 480000.0}, {4, 910000.0}}));
+  write_bench_file(cur_dir.path, "shard", std::move(cur));
+
+  const auto fr = report::check_throughput_floor(
+      report::load_bench_dir(cur_dir.path.string()),
+      report::load_bench_file(base_path), 0.9);
+  EXPECT_TRUE(fr.ok);
+  bool saw_release = false;
+  for (const std::string& line : fr.lines) {
+    EXPECT_EQ(line.find("FAIL"), std::string::npos) << line;
+    if (line.find("engine release") != std::string::npos) {
+      saw_release = true;
+      EXPECT_EQ(line.rfind("ok: ", 0), 0u) << line;
+    }
+  }
+  EXPECT_TRUE(saw_release);
+}
+
+TEST(Floor, FailsOnThroughputRegression) {
+  TempDir base_dir, cur_dir;
+  Json base = Json::array();
+  base.push(
+      engine_throughput_record({{"validated", 100000.0}, {"release", 1.0e6}}));
+  const std::string base_path =
+      write_bench_file(base_dir.path, "shard", std::move(base));
+
+  Json cur = Json::array();
+  // Release dropped to half the baseline: under any reasonable floor.
+  cur.push(
+      engine_throughput_record({{"validated", 100000.0}, {"release", 0.5e6}}));
+  write_bench_file(cur_dir.path, "shard", std::move(cur));
+
+  const auto fr = report::check_throughput_floor(
+      report::load_bench_dir(cur_dir.path.string()),
+      report::load_bench_file(base_path), 0.9);
+  EXPECT_FALSE(fr.ok);
+  bool saw_fail = false;
+  for (const std::string& line : fr.lines) {
+    if (line.rfind("FAIL: ", 0) == 0 &&
+        line.find("engine release") != std::string::npos) {
+      saw_fail = true;
+    }
+  }
+  EXPECT_TRUE(saw_fail);
+}
+
+TEST(Floor, MissingCurrentSeriesFails) {
+  TempDir base_dir, cur_dir;
+  Json base = Json::array();
+  base.push(
+      engine_throughput_record({{"validated", 100000.0}, {"release", 1.0e6}}));
+  base.push(shard_scaling_record({{1, 500000.0}}));
+  const std::string base_path =
+      write_bench_file(base_dir.path, "shard", std::move(base));
+
+  Json cur = Json::array();  // current lacks shard-scaling
+  cur.push(
+      engine_throughput_record({{"validated", 100000.0}, {"release", 1.0e6}}));
+  write_bench_file(cur_dir.path, "shard", std::move(cur));
+
+  const auto fr = report::check_throughput_floor(
+      report::load_bench_dir(cur_dir.path.string()),
+      report::load_bench_file(base_path), 0.9);
+  EXPECT_FALSE(fr.ok);
+  bool saw = false;
+  for (const std::string& line : fr.lines) {
+    if (line.rfind("FAIL: ", 0) == 0 &&
+        line.find("shard-scaling") != std::string::npos) {
+      saw = true;
+    }
+  }
+  EXPECT_TRUE(saw);
+}
+
+TEST(Floor, SeriesAbsentFromBaselineIsSkippedNotFailed) {
+  TempDir base_dir, cur_dir;
+  Json base = Json::array();  // baseline predates shard-scaling
+  base.push(
+      engine_throughput_record({{"validated", 100000.0}, {"release", 1.0e6}}));
+  const std::string base_path =
+      write_bench_file(base_dir.path, "shard", std::move(base));
+
+  Json cur = Json::array();
+  cur.push(
+      engine_throughput_record({{"validated", 100000.0}, {"release", 1.0e6}}));
+  cur.push(shard_scaling_record({{1, 500000.0}}));
+  write_bench_file(cur_dir.path, "shard", std::move(cur));
+
+  const auto fr = report::check_throughput_floor(
+      report::load_bench_dir(cur_dir.path.string()),
+      report::load_bench_file(base_path), 0.9);
+  EXPECT_TRUE(fr.ok);
+  bool saw_skip = false;
+  for (const std::string& line : fr.lines) {
+    if (line.rfind("note: ", 0) == 0 &&
+        line.find("skipped") != std::string::npos) {
+      saw_skip = true;
+    }
+  }
+  EXPECT_TRUE(saw_skip);
+}
+
+TEST(Floor, MissingShardFileFails) {
+  TempDir base_dir, cur_dir;  // cur_dir stays empty
+  Json base = Json::array();
+  base.push(
+      engine_throughput_record({{"validated", 100000.0}, {"release", 1.0e6}}));
+  const std::string base_path =
+      write_bench_file(base_dir.path, "shard", std::move(base));
+
+  const auto fr = report::check_throughput_floor(
+      report::load_bench_dir(cur_dir.path.string()),
+      report::load_bench_file(base_path), 0.9);
+  EXPECT_FALSE(fr.ok);
+  ASSERT_FALSE(fr.lines.empty());
+  EXPECT_NE(fr.lines.front().find("BENCH_shard.json not found"),
+            std::string::npos);
+}
+
 }  // namespace
 }  // namespace memreal

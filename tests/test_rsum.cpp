@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "alloc/rsum.h"
+#include "mem/memory.h"
 #include "testing.h"
 #include "workload/random_item.h"
 

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "harness/validated_run.h"
+#include "mem/memory.h"
 #include "shard/router.h"
 #include "shard/sharded_engine.h"
 #include "testing.h"
@@ -66,9 +67,11 @@ ShardedConfig shard_config(const std::string& allocator, std::size_t shards,
   return c;
 }
 
-std::vector<PlacedItem> layout_of(Memory& mem) { return mem.snapshot(); }
+std::vector<PlacedItem> layout_of(const LayoutStore& mem) {
+  return mem.snapshot();
+}
 
-void expect_same_layout(Memory& a, Memory& b) {
+void expect_same_layout(const LayoutStore& a, const LayoutStore& b) {
   const auto la = layout_of(a);
   const auto lb = layout_of(b);
   ASSERT_EQ(la.size(), lb.size());

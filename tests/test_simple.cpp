@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "alloc/simple.h"
+#include "mem/memory.h"
 #include "testing.h"
 #include "workload/churn.h"
 

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "alloc/tinyslab.h"
+#include "mem/memory.h"
 #include "testing.h"
 #include "workload/churn.h"
 

@@ -8,6 +8,10 @@
 //     --updates N        updates per generated sequence (default 200)
 //     --mutants N        mutants chained off each base sequence (default 2)
 //     --allocators a,b   comma-separated registry names (default: all)
+//     --engine E         "validated" (default) or "release": release also
+//                        runs every target on the unchecked release engine
+//                        in lockstep and reports any cost/counter/layout
+//                        difference as engine-divergence
 //     --threads N        worker threads (default: all cores)
 //     --capacity-log2 N  memory capacity 2^N ticks (default 40)
 //     --budget-slack X   multiplier on the registry cost budgets (default 1)
@@ -109,6 +113,7 @@ std::string reproduce_command(const FuzzConfig& cfg, std::uint64_t iteration) {
      << " --iters 1 --updates " << cfg.updates_per_sequence << " --mutants "
      << cfg.mutants_per_sequence << " --capacity-log2 "
      << std::countr_zero(cfg.capacity);
+  if (cfg.engine != "validated") os << " --engine " << cfg.engine;
   if (cfg.budget_slack != 1.0) os << " --budget-slack " << cfg.budget_slack;
   if (!cfg.allocators.empty()) {
     os << " --allocators ";
@@ -167,6 +172,11 @@ int main(int argc, char** argv) {
           static_cast<std::size_t>(parse_u64(flag, value()));
     } else if (flag == "--allocators") {
       cfg.allocators = split_csv(value());
+    } else if (flag == "--engine") {
+      cfg.engine = value();
+      if (cfg.engine != "validated" && cfg.engine != "release") {
+        usage_error("--engine must be 'validated' or 'release'");
+      }
     } else if (flag == "--threads") {
       cfg.threads = static_cast<std::size_t>(parse_u64(flag, value()));
     } else if (flag == "--capacity-log2") {
@@ -203,11 +213,11 @@ int main(int argc, char** argv) {
       return summary.ok() ? 0 : 1;
     }
     std::printf("memreal_fuzz: seed=%llu iters=%zu start=%llu updates=%zu "
-                "mutants=%zu threads=%zu\n",
+                "mutants=%zu engine=%s threads=%zu\n",
                 static_cast<unsigned long long>(cfg.seed), cfg.iterations,
                 static_cast<unsigned long long>(cfg.start_iteration),
                 cfg.updates_per_sequence, cfg.mutants_per_sequence,
-                cfg.threads);
+                cfg.engine.c_str(), cfg.threads);
     const FuzzSummary summary = run_fuzz(cfg);
     std::printf("memreal_fuzz: ran %zu sequences (%zu updates) over %zu "
                 "iterations — %zu failures\n",

@@ -10,6 +10,12 @@
 //     --no-experiments    skip the EXPERIMENTS.md rewrite
 //     --check             claim-shape regression gate: exit 1 unless every
 //                         claim verdict is PASS (missing bench files fail)
+//     --shard-floor FILE  throughput floor: a BENCH_shard.json from an
+//                         earlier run; every matching updates/sec point in
+//                         the current artifact must reach floor-ratio of it
+//                         (violations fail --check)
+//     --floor-ratio X     fraction of the floor artifact's rate that must
+//                         be sustained (default 0.7)
 //     --quiet             suppress the per-claim summary table
 //
 // For each claim T0–T9 / T-VAL the tool parses the recorded rows,
@@ -47,6 +53,8 @@ struct Options {
   bool write_report = true;
   bool write_experiments = true;
   bool check = false;
+  std::string shard_floor_path;
+  double floor_ratio = 0.7;
   bool quiet = false;
 };
 
@@ -78,6 +86,15 @@ Options parse_args(int argc, char** argv) {
       o.write_experiments = false;
     } else if (flag == "--check") {
       o.check = true;
+    } else if (flag == "--shard-floor") {
+      o.shard_floor_path = next();
+    } else if (flag == "--floor-ratio") {
+      char* end = nullptr;
+      const char* v = next();
+      o.floor_ratio = std::strtod(v, &end);
+      if (end == v || *end != '\0' || o.floor_ratio <= 0.0) {
+        usage_error("--floor-ratio must be a positive number");
+      }
     } else if (flag == "--quiet") {
       o.quiet = true;
     } else {
@@ -171,6 +188,20 @@ int run(const Options& o) {
     }
   }
 
+  bool floor_ok = true;
+  if (!o.shard_floor_path.empty()) {
+    const BenchFile baseline = load_bench_file(o.shard_floor_path);
+    const FloorResult floor =
+        check_throughput_floor(set, baseline, o.floor_ratio);
+    floor_ok = floor.ok;
+    if (!o.quiet || !floor.ok) {
+      std::cout << "throughput floor vs " << o.shard_floor_path << ":\n";
+      for (const std::string& line : floor.lines) {
+        std::cout << "  " << line << "\n";
+      }
+    }
+  }
+
   if (o.check) {
     std::size_t failures = 0;
     for (const ClaimResult& r : results) failures += !r.passed();
@@ -178,6 +209,12 @@ int run(const Options& o) {
       std::fprintf(stderr,
                    "memreal_report: %zu claim verdict(s) not PASS\n",
                    failures);
+      return 1;
+    }
+    if (!floor_ok) {
+      std::fprintf(stderr,
+                   "memreal_report: throughput floor violated (see the "
+                   "floor lines above)\n");
       return 1;
     }
     std::cout << "all " << results.size() << " claim verdicts PASS\n";

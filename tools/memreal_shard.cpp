@@ -2,6 +2,9 @@
 //
 //   memreal_shard [options]
 //     --allocator NAME   registry allocator for every cell (default simple)
+//     --engine E         cell engine: validated (default) or release — the
+//                        unchecked slab fast path (correctness covered by
+//                        ctest -L release and memreal_fuzz --engine release)
 //     --shards N         cell count (default 8)
 //     --threads N        worker threads (default 0 = all cores)
 //     --eps X            free-space parameter (default 0.015625)
@@ -47,6 +50,7 @@ using namespace memreal;
 
 struct Options {
   std::string allocator = "simple";
+  std::string engine = "validated";
   std::size_t shards = 8;
   std::size_t threads = 0;
   double eps = 1.0 / 64;
@@ -103,6 +107,11 @@ Options parse_args(int argc, char** argv) {
     };
     if (flag == "--allocator") {
       o.allocator = next();
+    } else if (flag == "--engine") {
+      o.engine = next();
+      if (o.engine != "validated" && o.engine != "release") {
+        usage_error("--engine must be 'validated' or 'release'");
+      }
     } else if (flag == "--shards") {
       o.shards = static_cast<std::size_t>(parse_u64(flag, next()));
     } else if (flag == "--threads") {
@@ -221,6 +230,7 @@ Json results_json(const Options& o, const ShardedEngine& engine,
                   const Sequence& seq, const ShardedRunStats& stats) {
   Json config = Json::object();
   config.set("allocator", o.allocator)
+      .set("engine", o.engine)
       .set("shards", static_cast<std::uint64_t>(o.shards))
       .set("threads", static_cast<std::uint64_t>(engine.thread_count()))
       .set("eps", o.eps)
@@ -280,6 +290,7 @@ int run(const Options& o) {
   const Tick shard_capacity = Tick{1} << o.capacity_log2;
 
   ShardedConfig config;
+  config.engine = o.engine;
   config.allocator = o.allocator;
   config.params.eps = o.eps;
   config.params.seed = o.seed;
