@@ -1,0 +1,54 @@
+#include "arena/arena_cell.h"
+
+#include "mem/memory.h"
+#include "release/slab_store.h"
+#include "util/check.h"
+
+namespace memreal {
+
+namespace {
+
+std::unique_ptr<LayoutStore> make_inner(Tick capacity, Tick eps_ticks,
+                                        const CellConfig& config) {
+  if (config.engine == "validated") {
+    ValidationPolicy policy;
+    policy.incremental = config.incremental_validation;
+    policy.audit_every_n_updates = config.audit_every;
+    return std::make_unique<Memory>(capacity, eps_ticks, policy);
+  }
+  if (config.engine == "release") {
+    return std::make_unique<SlabStore>(capacity, eps_ticks);
+  }
+  MEMREAL_CHECK_MSG(false, "unknown engine '" << config.engine
+                                              << "' (validated, release)");
+}
+
+ArenaOptions arena_options(const CellConfig& config) {
+  ArenaOptions options;
+  options.verify_payloads = config.verify_payloads;
+  return options;
+}
+
+}  // namespace
+
+ArenaCell::ArenaCell(Tick capacity, Tick eps_ticks, const CellConfig& config)
+    : name_(config.allocator),
+      inner_(make_inner(capacity, eps_ticks, config)),
+      store_(*inner_, ByteSpace(config.bytes_per_tick),
+             arena_options(config)),
+      allocator_(make_allocator(config.allocator, store_, config.params)),
+      engine_(store_, *allocator_, [&] {
+        EngineOptions options;
+        options.check_invariants_every = config.check_invariants_every;
+        options.before_update = [this](const Update& u) {
+          if (u.is_insert()) store_.stage_insert(u.id, u.size_bytes);
+        };
+        return options;
+      }()) {}
+
+void ArenaCell::audit() {
+  store_.audit();
+  allocator_->check_invariants();
+}
+
+}  // namespace memreal

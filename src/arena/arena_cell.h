@@ -1,0 +1,62 @@
+// The arena-backed cell: (inner store, ArenaStore, allocator, engine)
+// wired behind the Cell seam, so every consumer that routes updates
+// through Cells (ShardedEngine, the fuzz oracle, the drivers) can run in
+// byte space by flipping CellConfig::arena.
+//
+// The inner store is chosen by CellConfig::engine exactly as for plain
+// cells — "validated" wraps the Memory model (per-update incremental
+// checks plus payload verification), "release" wraps the SlabStore fast
+// path (no per-update tick validation; payload verification is then the
+// only inline check).  Both flavors drive the generic Engine over the
+// ArenaStore decorator: the ReleaseEngine is devirtualized on a concrete
+// SlabStore and stays byte-free by design.
+//
+// Byte staging: the engine's before_update hook hands each update to the
+// store ahead of the allocator's placement, so an insert carrying
+// size_bytes lands with its true payload size (unstaged inserts default
+// to size * bytes_per_tick).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "arena/arena_store.h"
+#include "core/engine.h"
+#include "harness/cell.h"
+
+namespace memreal {
+
+class ArenaCell final : public Cell {
+ public:
+  ArenaCell(Tick capacity, Tick eps_ticks, const CellConfig& config);
+
+  ArenaCell(const ArenaCell&) = delete;
+  ArenaCell& operator=(const ArenaCell&) = delete;
+
+  [[nodiscard]] ArenaStore& memory() override { return store_; }
+  [[nodiscard]] Allocator& allocator() override { return *allocator_; }
+  [[nodiscard]] Engine& engine() { return engine_; }
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  [[nodiscard]] ArenaStore& arena() { return store_; }
+
+  double step(const Update& update) override { return engine_.step(update); }
+  RunStats run(std::span<const Update> updates) override {
+    return engine_.run(updates);
+  }
+  [[nodiscard]] const RunStats& stats() const override {
+    return engine_.stats();
+  }
+
+  /// Full inner-store audit, full payload sweep, allocator self-check.
+  void audit() override;
+
+ private:
+  std::string name_;
+  std::unique_ptr<LayoutStore> inner_;
+  ArenaStore store_;
+  std::unique_ptr<Allocator> allocator_;
+  Engine engine_;
+};
+
+}  // namespace memreal

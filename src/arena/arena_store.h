@@ -1,0 +1,258 @@
+// The byte-backed layout store: a LayoutStore decorator that gives every
+// placed item a real payload in a char arena.
+//
+// ArenaStore forwards the entire LayoutStore contract to an inner store
+// (the validating Memory model or the release SlabStore), so an
+// arena-backed run produces the exact same layouts and per-update tick
+// costs as a plain run — the tick-vs-byte differential suite (ctest -L
+// arena) holds that equality for every registry allocator.  On top of the
+// forwarded tick semantics it maintains the byte space:
+//
+//   place    — stamps the item's payload (a deterministic per-id fill
+//              pattern) and charges its byte size to the moved-bytes
+//              channel (writing the item's bytes, the byte analogue of
+//              place's tick charge)
+//   move_to  — captures the payload and charges its bytes; when payload
+//              verification is on, the fill pattern is checked as the
+//              payload is first read: the byte-level analogue of
+//              Memory's incremental validation.  A failed check means
+//              some move physically clobbered a live payload — exactly
+//              the class of bug tick space cannot see.
+//   apply_run — batch capture + charge (same charges as the inner
+//              store's batched version, per the LayoutStore contract).
+//   audit    — inner audit plus a full sweep verifying every live
+//              payload's pattern.
+//
+// Physical writes are transactional.  Allocators are free to route items
+// through transiently overlapping tick placements mid-update (the
+// validated Memory model only checks overlap at end_update), so an eager
+// memmove per move_to would clobber live payloads.  Instead every update
+// runs copy-out/copy-in: the first time an item is touched its payload
+// is gathered (and verified) into a pending buffer — fresh inserts stamp
+// straight into one — and end_update flushes every pending payload to
+// its final, provably disjoint byte address.  Charges stay per logical
+// operation, mirroring the tick cost channel exactly.
+//
+// Payload sizes: each item carries `size_bytes` with
+// ticks_for_bytes(size_bytes) == its tick size.  Drivers stage the byte
+// size of the next insert via stage_insert (the arena cell does this from
+// the engine's before_update hook); unstaged inserts default to
+// size * bytes_per_tick (tick-native).
+//
+// The arena grows lazily toward byte_of(capacity): placements only ever
+// land inside the span bound the inner store enforces, so the vector
+// tracks the high-water mark of actual placements, not the (possibly
+// astronomical) tick capacity.  `max_arena_bytes` is a hard sanity cap.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "arena/byte_space.h"
+#include "core/layout_store.h"
+#include "util/flat_map.h"
+#include "util/types.h"
+
+namespace memreal {
+
+struct ArenaOptions {
+  /// Verify the moved item's fill pattern after every memmove and every
+  /// live payload on audit().  Off = measure raw memmove bandwidth only.
+  bool verify_payloads = true;
+  /// Hard cap on the lazily grown arena; a placement whose payload would
+  /// end beyond it throws InvariantViolation (use smaller capacities or a
+  /// coarser granule instead of letting the vector eat the host).
+  std::uint64_t max_arena_bytes = std::uint64_t{1} << 31;
+};
+
+class ArenaStore final : public LayoutStore {
+ public:
+  ArenaStore(LayoutStore& inner, ByteSpace space, ArenaOptions options = {});
+
+  ArenaStore(const ArenaStore&) = delete;
+  ArenaStore& operator=(const ArenaStore&) = delete;
+
+  // -- Byte-space surface ---------------------------------------------------
+
+  [[nodiscard]] const ByteSpace& space() const { return space_; }
+  [[nodiscard]] Tick bytes_per_tick() const { return space_.bytes_per_tick(); }
+
+  /// Stages the byte size of the NEXT place of `id`.  size_bytes == 0
+  /// means tick-native; nonzero must round to exactly the placed tick
+  /// size (checked in place).
+  void stage_insert(ItemId id, Tick size_bytes);
+
+  /// Payload byte size of a live item.
+  [[nodiscard]] Tick bytes_of(ItemId id) const { return bytes_.at(id); }
+  /// Current payload bytes of a live item (view into the arena).
+  [[nodiscard]] std::span<const unsigned char> payload(ItemId id) const;
+  /// Byte address of a live item.
+  [[nodiscard]] std::uint64_t address_of(ItemId id) const {
+    return space_.byte_of(inner_->offset_of(id));
+  }
+
+  /// Bytes physically moved / number of payload memmoves+stamps so far.
+  [[nodiscard]] Tick total_bytes_moved() const override {
+    return total_bytes_;
+  }
+  [[nodiscard]] std::size_t payload_moves() const { return moves_; }
+  [[nodiscard]] Tick last_update_bytes() const override {
+    return last_update_bytes_;
+  }
+
+  /// Verifies one / every live payload against its fill pattern; throws
+  /// InvariantViolation naming the first corrupt item and byte.
+  void verify_payload(ItemId id) const;
+  void verify_all_payloads() const;
+
+  /// The expected fill byte of item `id` at payload index `j` — exposed
+  /// so tests can predict (and corrupt) payloads.
+  [[nodiscard]] static unsigned char pattern_byte(ItemId id, std::uint64_t j);
+
+  // -- Transactions (forwarded; byte counter bracketed) ---------------------
+
+  void begin_update(Tick update_size, bool is_insert) override;
+  Tick end_update() override;
+  [[nodiscard]] bool in_update() const override { return inner_->in_update(); }
+  [[nodiscard]] Tick moved_in_update() const override {
+    return inner_->moved_in_update();
+  }
+
+  // -- Layout mutation ------------------------------------------------------
+
+  void place(ItemId id, Tick offset, Tick size, Tick extent = 0) override;
+  void move_to(ItemId id, Tick offset) override;
+  void set_extent(ItemId id, Tick extent) override {
+    inner_->set_extent(id, extent);
+  }
+  void reset_extent(ItemId id) override { inner_->reset_extent(id); }
+  void reset_extents(std::span<const ItemId> ids) override {
+    inner_->reset_extents(ids);
+  }
+  void remove(ItemId id) override;
+  // Payloads are gathered into pending buffers before the tick-space run
+  // is forwarded to the inner store; tick charges are the inner store's
+  // own, and each item whose offset changed is charged its bytes.
+  Tick apply_run(std::span<const ItemId> ids, Tick offset) override;
+
+  // -- Point queries (forwarded) --------------------------------------------
+
+  [[nodiscard]] bool contains(ItemId id) const override {
+    return inner_->contains(id);
+  }
+  [[nodiscard]] Tick offset_of(ItemId id) const override {
+    return inner_->offset_of(id);
+  }
+  [[nodiscard]] Tick size_of(ItemId id) const override {
+    return inner_->size_of(id);
+  }
+  [[nodiscard]] Tick extent_of(ItemId id) const override {
+    return inner_->extent_of(id);
+  }
+  [[nodiscard]] Tick end_of(ItemId id) const override {
+    return inner_->end_of(id);
+  }
+  [[nodiscard]] std::size_t item_count() const override {
+    return inner_->item_count();
+  }
+  [[nodiscard]] Tick live_mass() const override { return inner_->live_mass(); }
+  [[nodiscard]] Tick extent_mass() const override {
+    return inner_->extent_mass();
+  }
+  [[nodiscard]] Tick span_end() const override { return inner_->span_end(); }
+  [[nodiscard]] Tick capacity() const override { return inner_->capacity(); }
+  [[nodiscard]] Tick eps_ticks() const override { return inner_->eps_ticks(); }
+  [[nodiscard]] Tick total_moved() const override {
+    return inner_->total_moved();
+  }
+  [[nodiscard]] std::size_t update_count() const override {
+    return inner_->update_count();
+  }
+
+  // -- Ordered queries (forwarded) ------------------------------------------
+
+  [[nodiscard]] std::optional<PlacedItem> item_at(Tick offset) const override {
+    return inner_->item_at(offset);
+  }
+  [[nodiscard]] std::optional<PlacedItem> first_at_or_after(
+      Tick offset) const override {
+    return inner_->first_at_or_after(offset);
+  }
+  [[nodiscard]] std::optional<PlacedItem> last_before(
+      Tick offset) const override {
+    return inner_->last_before(offset);
+  }
+  [[nodiscard]] std::optional<PlacedItem> first_item() const override {
+    return inner_->first_item();
+  }
+  [[nodiscard]] std::optional<PlacedItem> last_item() const override {
+    return inner_->last_item();
+  }
+  [[nodiscard]] Neighbors neighbors_of(ItemId id) const override {
+    return inner_->neighbors_of(id);
+  }
+  [[nodiscard]] std::vector<PlacedItem> items_in(Tick from,
+                                                 Tick to) const override {
+    return inner_->items_in(from, to);
+  }
+  [[nodiscard]] std::vector<PlacedItem> snapshot() const override {
+    return inner_->snapshot();
+  }
+  [[nodiscard]] std::vector<std::pair<Tick, Tick>> gaps() const override {
+    return inner_->gaps();
+  }
+
+  // -- Validation -----------------------------------------------------------
+
+  /// Inner structural audit plus (when verification is on) a full sweep
+  /// of every live payload's fill pattern.
+  void audit() const override;
+
+  [[nodiscard]] ValidationPolicy& policy() override {
+    return inner_->policy();
+  }
+  [[nodiscard]] const ValidationPolicy& policy() const override {
+    return inner_->policy();
+  }
+
+ private:
+  /// Grows the arena so [0, byte_end) is addressable.
+  void ensure_arena(std::uint64_t byte_end);
+  void verify_at(ItemId id, std::uint64_t byte_addr, Tick bytes) const;
+
+  /// Captures (and, when verification is on, checks) the payload at
+  /// `src` into a pending buffer; no-op if already pending this update.
+  void gather(ItemId id, std::uint64_t src, Tick bytes);
+  /// Claims a pending buffer for `id`, reusing slot capacity across
+  /// updates; the returned buffer is empty.
+  std::vector<unsigned char>& new_pending_slot(ItemId id);
+  /// Writes every pending payload to its final byte address and empties
+  /// the journal.
+  void flush_pending();
+
+  LayoutStore* inner_;
+  ByteSpace space_;
+  ArenaOptions options_;
+
+  std::vector<unsigned char> arena_;
+  FlatIdMap<Tick> bytes_;  ///< id -> payload byte size
+
+  // Pending-payload journal for the copy-out/copy-in transaction.  Slot
+  // k holds pending_ids_[k]'s payload; removed items tombstone their
+  // slot with kNoItem.  Buffers keep their capacity across updates.
+  FlatIdMap<std::uint32_t> pending_idx_;  ///< id -> journal slot
+  std::vector<ItemId> pending_ids_;
+  std::vector<std::vector<unsigned char>> pending_data_;
+  std::size_t pending_used_ = 0;
+
+  ItemId staged_id_ = kNoItem;
+  Tick staged_bytes_ = 0;
+
+  Tick bytes_in_update_ = 0;
+  Tick last_update_bytes_ = 0;
+  Tick total_bytes_ = 0;
+  std::size_t moves_ = 0;
+};
+
+}  // namespace memreal

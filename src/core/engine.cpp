@@ -14,6 +14,7 @@ Engine::Engine(LayoutStore& memory, Allocator& allocator,
 
 double Engine::step(const Update& update) {
   MEMREAL_CHECK(update.size > 0);
+  if (options_.before_update) options_.before_update(update);
   const bool is_insert = update.is_insert();
   if (!is_insert) {
     MEMREAL_CHECK_MSG(memory_->contains(update.id),
@@ -28,7 +29,7 @@ double Engine::step(const Update& update) {
     allocator_->erase(update.id);
   }
   const Tick moved = memory_->end_update();
-  stats_.record(is_insert, update.size, moved);
+  stats_.record(is_insert, update.size, moved, memory_->last_update_bytes());
 
   ++step_index_;
   if (options_.check_invariants_every != 0 &&

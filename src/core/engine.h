@@ -21,6 +21,10 @@ struct EngineOptions {
   /// Invoked after each update with (index, update, cost); used by tests,
   /// the potential certifier and the figure renderers.
   std::function<void(std::size_t, const Update&, double)> on_update;
+  /// Invoked before each update is applied, ahead of the usage checks.
+  /// The arena cell uses this to stage the update's byte-space payload
+  /// size into its store before the allocator places the item.
+  std::function<void(const Update&)> before_update;
 };
 
 class Engine {

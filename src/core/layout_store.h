@@ -151,6 +151,18 @@ class LayoutStore {
   [[nodiscard]] virtual Tick total_moved() const = 0;
   [[nodiscard]] virtual std::size_t update_count() const = 0;
 
+  // -- Byte channel ---------------------------------------------------------
+  //
+  // Tick-space stores have no physical payloads and report zero here; the
+  // byte-backed ArenaStore (src/arena) overrides both with the measured
+  // memmove traffic, which the engine records into RunStats alongside the
+  // tick-mass channel.
+
+  /// Bytes physically moved during the most recently closed update.
+  [[nodiscard]] virtual Tick last_update_bytes() const { return 0; }
+  /// Total bytes physically moved since construction.
+  [[nodiscard]] virtual Tick total_bytes_moved() const { return 0; }
+
   // -- Ordered (by-offset) queries ------------------------------------------
 
   /// The item whose extent covers `offset`, if any.

@@ -9,7 +9,8 @@ double RunStats::ratio_cost() const {
   return static_cast<double>(moved_mass) / static_cast<double>(update_mass);
 }
 
-void RunStats::record(bool is_insert, Tick update_size, Tick moved) {
+void RunStats::record(bool is_insert, Tick update_size, Tick moved,
+                      Tick bytes) {
   MEMREAL_CHECK(update_size > 0);
   ++updates;
   if (is_insert) {
@@ -19,6 +20,7 @@ void RunStats::record(bool is_insert, Tick update_size, Tick moved) {
   }
   moved_mass += moved;
   update_mass += update_size;
+  moved_bytes += bytes;
   const double c =
       static_cast<double>(moved) / static_cast<double>(update_size);
   cost.add(c);
@@ -32,6 +34,7 @@ void RunStats::merge(const RunStats& other) {
   deletes += other.deletes;
   moved_mass += other.moved_mass;
   update_mass += other.update_mass;
+  moved_bytes += other.moved_bytes;
   cost.merge(other.cost);
   insert_cost.merge(other.insert_cost);
   delete_cost.merge(other.delete_cost);

@@ -23,6 +23,11 @@ struct RunStats {
   Tick moved_mass = 0;   ///< sum of L_i (ticks)
   Tick update_mass = 0;  ///< sum of k_i (ticks)
 
+  /// Measured bytes physically moved (memmove/stamp traffic).  Zero for
+  /// tick-space stores; an arena-backed run reports real byte movement
+  /// here alongside the tick-mass channel above.
+  Tick moved_bytes = 0;
+
   StreamingStats cost;         ///< per-update L_i / k_i
   StreamingStats insert_cost;  ///< restricted to inserts
   StreamingStats delete_cost;  ///< restricted to deletes
@@ -37,7 +42,8 @@ struct RunStats {
   [[nodiscard]] double ratio_cost() const;
   [[nodiscard]] double max_cost() const { return cost.max(); }
 
-  void record(bool is_insert, Tick update_size, Tick moved);
+  void record(bool is_insert, Tick update_size, Tick moved,
+              Tick moved_bytes = 0);
   void merge(const RunStats& other);
 };
 

@@ -9,16 +9,22 @@ enum class UpdateKind : unsigned char { kInsert, kDelete };
 
 /// One online update.  For deletes, `size` records the item's size (known
 /// to the generator; the engine re-checks it against the memory model).
+///
+/// `size_bytes` is the optional byte-space payload size: 0 means the update
+/// is tick-native (an arena run backs it with size * bytes_per_tick bytes);
+/// a nonzero value must round up to exactly `size` ticks under the
+/// sequence's bytes_per_tick.  Tick-space consumers ignore it.
 struct Update {
   UpdateKind kind = UpdateKind::kInsert;
   ItemId id = kNoItem;
   Tick size = 0;
+  Tick size_bytes = 0;
 
-  static Update insert(ItemId id, Tick size) {
-    return Update{UpdateKind::kInsert, id, size};
+  static Update insert(ItemId id, Tick size, Tick size_bytes = 0) {
+    return Update{UpdateKind::kInsert, id, size, size_bytes};
   }
-  static Update erase(ItemId id, Tick size) {
-    return Update{UpdateKind::kDelete, id, size};
+  static Update erase(ItemId id, Tick size, Tick size_bytes = 0) {
+    return Update{UpdateKind::kDelete, id, size, size_bytes};
   }
 
   [[nodiscard]] bool is_insert() const { return kind == UpdateKind::kInsert; }

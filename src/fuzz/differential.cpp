@@ -3,6 +3,7 @@
 #include <memory>
 #include <sstream>
 
+#include "arena/arena_cell.h"
 #include "harness/validated_run.h"
 #include "release/release_cell.h"
 #include "release/slab_store.h"
@@ -20,22 +21,25 @@ const char* to_string(FailureKind kind) {
       return "divergence";
     case FailureKind::kEngineDivergence:
       return "engine-divergence";
+    case FailureKind::kArenaDivergence:
+      return "arena-divergence";
   }
   return "unknown";
 }
 
 namespace {
 
-/// Compares the validated and release layouts of one target; returns a
+/// Compares the validated layout against another store's; returns a
 /// human-readable description of the first difference, or empty if
-/// bit-identical.
-std::string compare_layouts(LayoutStore& validated, SlabStore& release) {
+/// bit-identical.  `label` names the other store in messages.
+std::string compare_layouts(LayoutStore& validated, LayoutStore& other,
+                            const char* label = "release") {
   const std::vector<PlacedItem> a = validated.snapshot();
-  const std::vector<PlacedItem> b = release.snapshot();
+  const std::vector<PlacedItem> b = other.snapshot();
   if (a.size() != b.size()) {
     std::ostringstream os;
-    os << "layout item counts differ: validated " << a.size() << ", release "
-       << b.size();
+    os << "layout item counts differ: validated " << a.size() << ", "
+       << label << " " << b.size();
     return os.str();
   }
   for (std::size_t i = 0; i < a.size(); ++i) {
@@ -46,7 +50,7 @@ std::string compare_layouts(LayoutStore& validated, SlabStore& release) {
     std::ostringstream os;
     os << "layouts differ at rank " << i << ": validated {id " << a[i].id
        << " off " << a[i].offset << " size " << a[i].size << " ext "
-       << a[i].extent << "}, release {id " << b[i].id << " off "
+       << a[i].extent << "}, " << label << " {id " << b[i].id << " off "
        << b[i].offset << " size " << b[i].size << " ext " << b[i].extent
        << "}";
     return os.str();
@@ -55,26 +59,44 @@ std::string compare_layouts(LayoutStore& validated, SlabStore& release) {
 }
 
 /// Compares the O(1) model counters after one lockstep step; empty if
-/// identical.
-std::string compare_counters(double validated_cost, double release_cost,
-                             LayoutStore& validated, SlabStore& release) {
+/// identical.  `label` names the other store in messages.
+std::string compare_counters(double validated_cost, double other_cost,
+                             LayoutStore& validated, LayoutStore& other,
+                             const char* label = "release") {
   std::ostringstream os;
-  if (validated_cost != release_cost) {
-    os << "update cost differs: validated " << validated_cost << ", release "
-       << release_cost;
-  } else if (validated.item_count() != release.item_count()) {
-    os << "item count differs: validated " << validated.item_count()
-       << ", release " << release.item_count();
-  } else if (validated.live_mass() != release.live_mass()) {
-    os << "live mass differs: validated " << validated.live_mass()
-       << ", release " << release.live_mass();
-  } else if (validated.span_end() != release.span_end()) {
-    os << "span end differs: validated " << validated.span_end()
-       << ", release " << release.span_end();
-  } else if (validated.total_moved() != release.total_moved()) {
+  if (validated_cost != other_cost) {
+    os << "update cost differs: validated " << validated_cost << ", "
+       << label << " " << other_cost;
+  } else if (validated.item_count() != other.item_count()) {
+    os << "item count differs: validated " << validated.item_count() << ", "
+       << label << " " << other.item_count();
+  } else if (validated.live_mass() != other.live_mass()) {
+    os << "live mass differs: validated " << validated.live_mass() << ", "
+       << label << " " << other.live_mass();
+  } else if (validated.span_end() != other.span_end()) {
+    os << "span end differs: validated " << validated.span_end() << ", "
+       << label << " " << other.span_end();
+  } else if (validated.total_moved() != other.total_moved()) {
     os << "total moved mass differs: validated " << validated.total_moved()
-       << ", release " << release.total_moved();
+       << ", " << label << " " << other.total_moved();
   }
+  return os.str();
+}
+
+/// The granule's rounding bound on an arena cell's byte traffic:
+///   L * bpt - M * (bpt - 1) <= moved_bytes <= L * bpt
+/// where L is the tick moved mass and M the number of payload moves.
+std::string check_byte_bound(const ArenaStore& store) {
+  const Tick bpt = store.bytes_per_tick();
+  const Tick upper = store.total_moved() * bpt;
+  const Tick slack = static_cast<Tick>(store.payload_moves()) * (bpt - 1);
+  const Tick lower = upper > slack ? upper - slack : 0;
+  const Tick bytes = store.total_bytes_moved();
+  if (bytes >= lower && bytes <= upper) return {};
+  std::ostringstream os;
+  os << "arena byte traffic " << bytes << " outside the rounding bound ["
+     << lower << ", " << upper << "] (moved mass " << store.total_moved()
+     << ", " << store.payload_moves() << " moves, granule " << bpt << ")";
   return os.str();
 }
 
@@ -87,6 +109,7 @@ std::optional<FailureReport> run_differential(
 
   std::vector<std::unique_ptr<ValidatedCell>> cells;
   std::vector<std::unique_ptr<ReleaseCell>> release_cells;
+  std::vector<std::unique_ptr<ArenaCell>> arena_cells;
   cells.reserve(config.targets.size());
   for (const FuzzTarget& t : config.targets) {
     CellConfig cell;
@@ -98,6 +121,13 @@ std::optional<FailureReport> run_differential(
     if (config.lockstep_release) {
       release_cells.push_back(std::make_unique<ReleaseCell>(
           seq.capacity, seq.eps_ticks, cell));
+    }
+    if (config.lockstep_arena) {
+      CellConfig arena = cell;
+      arena.arena = true;
+      arena.bytes_per_tick = config.arena_bytes_per_tick;
+      arena_cells.push_back(std::make_unique<ArenaCell>(
+          seq.capacity, seq.eps_ticks, arena));
     }
   }
   const std::size_t layout_every =
@@ -188,6 +218,30 @@ std::optional<FailureReport> run_differential(
         if (!diff.empty()) return engine_diverged(diff);
         if (config.release_tamper) config.release_tamper(fast.memory(), i);
       }
+      if (config.lockstep_arena) {
+        ArenaCell& arena = *arena_cells[t];
+        auto arena_diverged = [&](const std::string& what) {
+          FailureReport r;
+          r.kind = FailureKind::kArenaDivergence;
+          r.allocator = cell.name();
+          r.update_index = i;
+          r.message = what;
+          return r;
+        };
+        double arena_cost = 0.0;
+        try {
+          arena_cost = arena.step(u);
+        } catch (const InvariantViolation& e) {
+          return arena_diverged(std::string("arena cell threw: ") + e.what());
+        }
+        std::string diff = compare_counters(cost, arena_cost, cell.memory(),
+                                            arena.memory(), "arena");
+        if (diff.empty()) diff = check_byte_bound(arena.arena());
+        if (diff.empty() && (i + 1) % layout_every == 0) {
+          diff = compare_layouts(cell.memory(), arena.memory(), "arena");
+        }
+        if (!diff.empty()) return arena_diverged(diff);
+      }
     }
   }
 
@@ -207,6 +261,27 @@ std::optional<FailureReport> run_differential(
       if (!diff.empty()) {
         FailureReport r;
         r.kind = FailureKind::kEngineDivergence;
+        r.allocator = cell.name();
+        r.update_index = seq.updates.size();
+        r.message = diff;
+        return r;
+      }
+    }
+    if (config.lockstep_arena) {
+      ArenaCell& arena = *arena_cells[t];
+      std::string diff = compare_layouts(cell.memory(), arena.memory(),
+                                         "arena");
+      if (diff.empty()) {
+        try {
+          arena.audit();  // includes the full payload-stamp sweep
+        } catch (const InvariantViolation& e) {
+          diff = std::string("arena cell failed its final audit: ") +
+                 e.what();
+        }
+      }
+      if (!diff.empty()) {
+        FailureReport r;
+        r.kind = FailureKind::kArenaDivergence;
         r.allocator = cell.name();
         r.update_index = seq.updates.size();
         r.message = diff;

@@ -16,6 +16,10 @@
 //     any difference from the validated cell in per-update cost, O(1)
 //     model counters, or (at audit cadence and run end) the full layout
 //     is a release fast-path bug.
+//   * kArenaDivergence — with lockstep_arena set, each target also runs
+//     on a byte-backed arena cell; tick costs and layouts must match the
+//     validated cell exactly, payload stamps must verify, and the byte
+//     traffic must sit inside the granule's rounding bound.
 //
 // The first failure (in update order, then fixed target order) wins, so a
 // report is deterministic for a given (sequence, target list).
@@ -39,6 +43,7 @@ enum class FailureKind : unsigned char {
   kCostBudget,
   kDivergence,
   kEngineDivergence,
+  kArenaDivergence,
 };
 
 [[nodiscard]] const char* to_string(FailureKind kind);
@@ -70,6 +75,14 @@ struct DifferentialConfig {
   /// the oracle catches and shrinks it; must be deterministic for a given
   /// sequence or shrinking will not reproduce.
   std::function<void(SlabStore&, std::size_t update_index)> release_tamper;
+  /// Also run every target on a byte-backed arena cell (src/arena) in
+  /// lockstep with its validated cell; any per-update tick-cost
+  /// difference, layout difference (at audit cadence and run end), failed
+  /// payload-stamp verification, or byte traffic outside the granule's
+  /// rounding bound is reported as kArenaDivergence.
+  bool lockstep_arena = false;
+  /// Granule of the lockstep arena cells.
+  Tick arena_bytes_per_tick = 8;
 };
 
 struct FailureReport {

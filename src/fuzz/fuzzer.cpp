@@ -78,6 +78,7 @@ DifferentialConfig make_differential_config(const TargetGroup& group,
   d.audit_every = cfg.audit_every;
   d.check_invariants_every = cfg.check_invariants_every;
   d.lockstep_release = cfg.engine == "release";
+  d.lockstep_arena = cfg.engine == "arena";
   d.targets.reserve(group.members.size());
   for (const AllocatorInfo& info : group.members) {
     FuzzTarget t;
@@ -131,9 +132,10 @@ std::vector<AllocatorInfo> resolve_fuzz_targets(const FuzzConfig& cfg) {
 
 FuzzSummary run_fuzz(const FuzzConfig& cfg) {
   MEMREAL_CHECK(cfg.iterations > 0);
-  MEMREAL_CHECK_MSG(cfg.engine == "validated" || cfg.engine == "release",
-                    "unknown fuzz engine '" << cfg.engine
-                                            << "' (validated, release)");
+  MEMREAL_CHECK_MSG(cfg.engine == "validated" || cfg.engine == "release" ||
+                        cfg.engine == "arena",
+                    "unknown fuzz engine '"
+                        << cfg.engine << "' (validated, release, arena)");
   const std::vector<TargetGroup> groups =
       make_target_groups(resolve_fuzz_targets(cfg));
 
@@ -223,6 +225,7 @@ FuzzSummary replay_corpus(const FuzzConfig& cfg, const std::string& dir) {
     dcfg.audit_every = cfg.audit_every;
     dcfg.check_invariants_every = cfg.check_invariants_every;
     dcfg.lockstep_release = cfg.engine == "release";
+    dcfg.lockstep_arena = cfg.engine == "arena";
     const std::uint64_t iseed = iteration_seed(entry.seed, entry.iteration);
     const bool have_target =
         std::find(known.begin(), known.end(), entry.allocator) != known.end();

@@ -40,7 +40,11 @@ struct FuzzConfig {
   /// "validated" fuzzes the validating cells alone; "release" additionally
   /// runs every target on the release engine in lockstep and reports any
   /// cost/counter/layout difference as engine-divergence (harness/cell.h
-  /// engine_names()).
+  /// engine_names()); "arena" instead locksteps each target against a
+  /// byte-backed arena cell (payload stamps, memmove traffic, rounding
+  /// bound) and reports differences as arena-divergence.  Arena campaigns
+  /// should run at a much smaller capacity than the tick-only default —
+  /// the arena materially allocates the address space it places into.
   std::string engine = "validated";
   bool shrink = true;
   double budget_slack = 1.0;

@@ -1,5 +1,6 @@
 #include "harness/cell.h"
 
+#include "arena/arena_cell.h"
 #include "harness/validated_run.h"
 #include "release/release_cell.h"
 #include "util/check.h"
@@ -8,6 +9,10 @@ namespace memreal {
 
 std::unique_ptr<Cell> make_cell(Tick capacity, Tick eps_ticks,
                                 const CellConfig& config) {
+  if (config.arena) {
+    // ArenaCell validates config.engine itself (it names the inner store).
+    return std::make_unique<ArenaCell>(capacity, eps_ticks, config);
+  }
   if (config.engine == "validated") {
     return std::make_unique<ValidatedCell>(capacity, eps_ticks, config);
   }

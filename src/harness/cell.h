@@ -7,6 +7,8 @@
 //                             incremental checks, audit cadence)
 //   engine = "release"    ->  ReleaseCell    (SlabStore + ReleaseEngine:
 //                             no per-update validation, explicit audit)
+//   arena = true          ->  ArenaCell      (either flavor's store wrapped
+//                             in the byte-backed ArenaStore, src/arena)
 //
 // ShardedEngine, the fuzz oracle and the drivers all hold Cells, so the
 // release fast path slots in behind every existing consumer without
@@ -36,6 +38,18 @@ struct CellConfig {
   std::size_t audit_every = 0;
   /// Allocator self-check cadence; 0 = never (validated engine only).
   std::size_t check_invariants_every = 0;
+
+  /// Back the cell with a real byte arena (src/arena): items get physical
+  /// payloads, moves execute memmoves, and RunStats gains the moved-bytes
+  /// channel.  Composes with either engine flavor — the inner store stays
+  /// the one `engine` names.
+  bool arena = false;
+  /// Byte-space granule: bytes per tick, also the arena's alignment and
+  /// minimum allocation size (arena cells only).
+  Tick bytes_per_tick = 8;
+  /// Verify payload fill patterns after every move and on audit (arena
+  /// cells only); disable to measure raw memmove bandwidth.
+  bool verify_payloads = true;
 };
 
 /// A constructed cell for one update stream.  Non-movable: the allocator

@@ -406,6 +406,55 @@ void eval_trel(const BenchFile& f, Checker& c, std::string& headline) {
   headline = num(speedup, 3) + "x release over validated";
 }
 
+// T-ARENA — the byte-addressed arena layer: every (allocator, engine)
+// pair reproduces the tick cost channel exactly, measured byte traffic
+// lands inside the granule rounding bound, and the payload-verified
+// arena cell still moves bytes at a positive rate on the vm_heap stream.
+void eval_tarena(const BenchFile& f, Checker& c, std::string& headline) {
+  const Json* diff = require_series(f, "arena-differential", c);
+  if (diff != nullptr) {
+    bool equal = true;
+    bool in_bound = true;
+    bool verified = true;
+    bool moved = true;
+    std::size_t pairs = 0;
+    for (const auto& [key, row] : diff->at("rows").items()) {
+      (void)key;
+      ++pairs;
+      equal &= row.at("costs_equal").as_u64() == 1;
+      in_bound &= row.at("bytes_in_bound").as_u64() == 1;
+      verified &= row.at("payload_verified").as_u64() == 1;
+      moved &= row.at("moved_bytes").as_u64() > 0;
+    }
+    c.check(pairs >= 2, "arena-differential covers " +
+                            std::to_string(pairs) + " allocator x engine "
+                            "pairs (>= 2)");
+    c.check(equal, "tick cost channel identical to the plain cell on "
+                   "every pair");
+    c.check(in_bound, "moved bytes inside the granule rounding bound "
+                      "L*bpt - M*(bpt-1) .. L*bpt on every pair");
+    c.check(verified, "payloads pattern-verified on every pair");
+    c.check(moved, "every pair physically moved bytes");
+    headline = std::to_string(pairs) + " pairs tick-exact, bytes in bound";
+  }
+  const Json* thr = require_series(f, "arena-throughput", c);
+  if (thr != nullptr) {
+    double verified_bps = 0;
+    for (const auto& [key, row] : thr->at("rows").items()) {
+      (void)key;
+      if (row.at("verify").as_u64() == 1) {
+        verified_bps = row.at("bytes_per_second").as_double();
+      }
+    }
+    c.check(verified_bps > 0,
+            "verified arena throughput positive: " + num(verified_bps, 6) +
+                " bytes/s on vm_heap");
+    if (!headline.empty()) {
+      headline += ", " + num(verified_bps / 1e6, 4) + " MB/s verified";
+    }
+  }
+}
+
 using EvalFn = void (*)(const BenchFile&, Checker&, std::string&);
 
 struct ClaimRule {
@@ -463,6 +512,11 @@ const std::vector<ClaimRule>& claim_rules() {
         "the unchecked slab fast path sustains >= 10x validated "
         "updates/sec at S = 1 (>= 5x in fast mode)"},
        eval_trel},
+      {{"T-ARENA", "Byte-addressed arena", "arena", "repo trajectory",
+        "arena-backed cells reproduce the tick cost channel exactly, "
+        "measured byte traffic obeys the granule rounding bound, and "
+        "payload-verified runs sustain positive bytes/sec"},
+       eval_tarena},
   };
   return kRules;
 }

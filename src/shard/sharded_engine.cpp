@@ -82,6 +82,9 @@ ShardedEngine::ShardedEngine(const ShardedConfig& config)
   cell.incremental_validation = config.incremental_validation;
   cell.audit_every = config.audit_every;
   cell.check_invariants_every = config.check_invariants_every;
+  cell.arena = config.arena;
+  cell.bytes_per_tick = config.bytes_per_tick;
+  cell.verify_payloads = config.verify_payloads;
   cells_.reserve(config.shards);
   for (std::size_t s = 0; s < config.shards; ++s) {
     cell.params.seed = shard_seed(config.params.seed, s);

@@ -79,6 +79,12 @@ struct ShardedConfig {
   bool incremental_validation = true;
   std::size_t audit_every = 0;
   std::size_t check_invariants_every = 0;
+  // Byte-space knobs (CellConfig semantics): arena = true backs every
+  // shard's cell with a real byte arena, so a sharded run reports the
+  // moved-bytes channel and verifies payload stamps.
+  bool arena = false;
+  Tick bytes_per_tick = 8;
+  bool verify_payloads = true;
 };
 
 /// Aggregated statistics of a sharded run: the merged global RunStats plus

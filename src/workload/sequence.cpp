@@ -9,13 +9,31 @@ namespace memreal {
 void Sequence::check_well_formed() const {
   MEMREAL_CHECK(capacity > 0);
   MEMREAL_CHECK(eps_ticks < capacity);
-  std::unordered_map<ItemId, Tick> live;
+  struct LiveItem {
+    Tick size;
+    Tick bytes;
+  };
+  std::unordered_map<ItemId, LiveItem> live;
   Tick mass = 0;
   for (const Update& u : updates) {
     MEMREAL_CHECK(u.size > 0);
+    if (u.size_bytes > 0) {
+      MEMREAL_CHECK_MSG(bytes_per_tick > 0,
+                        "update of id " << u.id
+                                        << " carries a byte size but the "
+                                           "sequence has no bytes_per_tick");
+      const Tick ticks =
+          (u.size_bytes + bytes_per_tick - 1) / bytes_per_tick;
+      MEMREAL_CHECK_MSG(ticks == u.size,
+                        "byte size " << u.size_bytes << " of id " << u.id
+                                     << " rounds to " << ticks
+                                     << " ticks, not its tick size "
+                                     << u.size);
+    }
     if (u.is_insert()) {
-      MEMREAL_CHECK_MSG(live.emplace(u.id, u.size).second,
-                        "duplicate live id " << u.id);
+      MEMREAL_CHECK_MSG(
+          live.emplace(u.id, LiveItem{u.size, u.size_bytes}).second,
+          "duplicate live id " << u.id);
       mass += u.size;
       MEMREAL_CHECK_MSG(mass + eps_ticks <= capacity,
                         "sequence violates load-factor promise at id "
@@ -23,15 +41,18 @@ void Sequence::check_well_formed() const {
     } else {
       auto it = live.find(u.id);
       MEMREAL_CHECK_MSG(it != live.end(), "delete of absent id " << u.id);
-      MEMREAL_CHECK_MSG(it->second == u.size, "delete size mismatch");
-      mass -= it->second;
+      MEMREAL_CHECK_MSG(it->second.size == u.size, "delete size mismatch");
+      MEMREAL_CHECK_MSG(it->second.bytes == u.size_bytes,
+                        "delete byte-size mismatch for id " << u.id);
+      mass -= it->second.size;
       live.erase(it);
     }
   }
 }
 
-SequenceBuilder::SequenceBuilder(std::string name, Tick capacity, double eps)
-    : capacity_(capacity) {
+SequenceBuilder::SequenceBuilder(std::string name, Tick capacity, double eps,
+                                 Tick bytes_per_tick)
+    : capacity_(capacity), bytes_per_tick_(bytes_per_tick) {
   MEMREAL_CHECK(eps > 0.0 && eps < 1.0);
   eps_ticks_ = static_cast<Tick>(eps * static_cast<double>(capacity));
   MEMREAL_CHECK(eps_ticks_ > 0);
@@ -39,6 +60,7 @@ SequenceBuilder::SequenceBuilder(std::string name, Tick capacity, double eps)
   seq_.capacity = capacity;
   seq_.eps = eps;
   seq_.eps_ticks = eps_ticks_;
+  seq_.bytes_per_tick = bytes_per_tick;
 }
 
 ItemId SequenceBuilder::insert(Tick size) {
@@ -46,9 +68,28 @@ ItemId SequenceBuilder::insert(Tick size) {
   MEMREAL_CHECK_MSG(can_insert(size),
                     "insert of " << size << " would break the promise");
   const ItemId id = next_id_++;
-  live_.push_back(Live{id, size});
+  live_.push_back(Live{id, size, 0});
   live_mass_ += size;
   seq_.updates.push_back(Update::insert(id, size));
+  return id;
+}
+
+Tick SequenceBuilder::ticks_for_bytes(Tick size_bytes) const {
+  MEMREAL_CHECK_MSG(bytes_per_tick_ > 0,
+                    "builder has no bytes_per_tick (tick-native sequence)");
+  if (size_bytes == 0) return 1;
+  return (size_bytes + bytes_per_tick_ - 1) / bytes_per_tick_;
+}
+
+ItemId SequenceBuilder::insert_bytes(Tick size_bytes) {
+  MEMREAL_CHECK(size_bytes > 0);
+  const Tick size = ticks_for_bytes(size_bytes);
+  MEMREAL_CHECK_MSG(can_insert(size),
+                    "insert of " << size << " would break the promise");
+  const ItemId id = next_id_++;
+  live_.push_back(Live{id, size, size_bytes});
+  live_mass_ += size;
+  seq_.updates.push_back(Update::insert(id, size, size_bytes));
   return id;
 }
 
@@ -58,7 +99,7 @@ void SequenceBuilder::erase_at(std::size_t index) {
   live_[index] = live_.back();
   live_.pop_back();
   live_mass_ -= victim.size;
-  seq_.updates.push_back(Update::erase(victim.id, victim.size));
+  seq_.updates.push_back(Update::erase(victim.id, victim.size, victim.bytes));
 }
 
 void SequenceBuilder::erase_random(Rng& rng) {
@@ -92,21 +133,37 @@ Sequence repair_sequence(const Sequence& base, std::vector<Update> updates) {
   out.capacity = base.capacity;
   out.eps = base.eps;
   out.eps_ticks = base.eps_ticks;
+  out.bytes_per_tick = base.bytes_per_tick;
   out.updates.reserve(updates.size());
   const Tick budget = base.capacity - base.eps_ticks;
-  std::unordered_map<ItemId, Tick> live;
+  struct LiveItem {
+    Tick size;
+    Tick bytes;
+  };
+  std::unordered_map<ItemId, LiveItem> live;
   Tick mass = 0;
   for (Update& u : updates) {
     if (u.is_insert()) {
       if (u.size == 0 || u.size > budget - mass) continue;
-      if (!live.emplace(u.id, u.size).second) continue;
+      // A byte size that no longer rounds to the (possibly edited) tick
+      // size is dropped — the insert becomes tick-native.
+      if (u.size_bytes > 0 &&
+          (base.bytes_per_tick == 0 ||
+           (u.size_bytes + base.bytes_per_tick - 1) / base.bytes_per_tick !=
+               u.size)) {
+        u.size_bytes = 0;
+      }
+      if (!live.emplace(u.id, LiveItem{u.size, u.size_bytes}).second) {
+        continue;
+      }
       mass += u.size;
       out.updates.push_back(u);
     } else {
       const auto it = live.find(u.id);
       if (it == live.end()) continue;
-      u.size = it->second;  // rewrite stale delete sizes
-      mass -= it->second;
+      u.size = it->second.size;  // rewrite stale delete sizes
+      u.size_bytes = it->second.bytes;
+      mass -= it->second.size;
       live.erase(it);
       out.updates.push_back(u);
     }
@@ -132,6 +189,7 @@ Sequence with_sizes(const Sequence& base,
     if (it == new_sizes.end()) continue;
     MEMREAL_CHECK_MSG(it->second > 0, "with_sizes: size must be positive");
     u.size = it->second;
+    u.size_bytes = 0;  // resized items become tick-native
   }
   return repair_sequence(base, std::move(resized));
 }

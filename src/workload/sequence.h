@@ -21,31 +21,51 @@ struct Sequence {
   Tick capacity = kDefaultCapacity;
   double eps = 0.0;
   Tick eps_ticks = 0;
+  /// Byte-space granule for byte-mode sequences; 0 = tick-native (no
+  /// update carries a payload size).  When nonzero, every update's
+  /// size_bytes (if set) must round up to exactly its tick size.
+  Tick bytes_per_tick = 0;
   std::vector<Update> updates;
 
   [[nodiscard]] std::size_t size() const { return updates.size(); }
 
   /// Replays the sequence against a virtual live set and checks the
   /// adversary's promise plus well-formedness (no duplicate live ids, no
-  /// delete of absent items).  Throws InvariantViolation on failure.
+  /// delete of absent items, byte sizes consistent with tick sizes).
+  /// Throws InvariantViolation on failure.
   void check_well_formed() const;
 };
 
-/// Incrementally builds a well-formed sequence.
+/// Incrementally builds a well-formed sequence.  Pass a nonzero
+/// bytes_per_tick to build a byte-mode sequence: insert_bytes then
+/// records payload sizes and deletes echo them back.
 class SequenceBuilder {
  public:
-  SequenceBuilder(std::string name, Tick capacity, double eps);
+  SequenceBuilder(std::string name, Tick capacity, double eps,
+                  Tick bytes_per_tick = 0);
 
   /// Max mass the adversary may have live.
   [[nodiscard]] Tick budget() const { return capacity_ - eps_ticks_; }
   [[nodiscard]] Tick live_mass() const { return live_mass_; }
   [[nodiscard]] std::size_t live_count() const { return live_.size(); }
+  /// Updates emitted so far.
+  [[nodiscard]] std::size_t update_count() const {
+    return seq_.updates.size();
+  }
   [[nodiscard]] bool can_insert(Tick size) const {
     return live_mass_ + size <= budget();
   }
 
   /// Inserts a fresh item of `size`; returns its id.
   ItemId insert(Tick size);
+
+  /// Byte-mode insert: ticks are derived from `size_bytes` by
+  /// min-allocation rounding (requires a nonzero bytes_per_tick).
+  ItemId insert_bytes(Tick size_bytes);
+
+  /// Ticks a payload of `size_bytes` occupies under this builder's
+  /// granule.
+  [[nodiscard]] Tick ticks_for_bytes(Tick size_bytes) const;
 
   /// Deletes the live item at `index` (in insertion-compacted order).
   void erase_at(std::size_t index);
@@ -59,6 +79,9 @@ class SequenceBuilder {
   [[nodiscard]] Tick size_at(std::size_t index) const {
     return live_[index].size;
   }
+  [[nodiscard]] Tick bytes_at(std::size_t index) const {
+    return live_[index].bytes;
+  }
   [[nodiscard]] ItemId id_at(std::size_t index) const {
     return live_[index].id;
   }
@@ -69,6 +92,7 @@ class SequenceBuilder {
   struct Live {
     ItemId id;
     Tick size;
+    Tick bytes;  ///< 0 for tick-native items
   };
 
   Sequence seq_;
@@ -77,6 +101,7 @@ class SequenceBuilder {
   ItemId next_id_ = 1;
   Tick capacity_;
   Tick eps_ticks_;
+  Tick bytes_per_tick_;
 };
 
 // -- Mutation hooks ---------------------------------------------------------

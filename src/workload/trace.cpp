@@ -13,12 +13,18 @@ namespace memreal {
 
 void write_trace(const Sequence& seq, std::ostream& os) {
   os << "# memreal trace: " << seq.name << "\n";
+  os << "V 2\n";
   // max_digits10 keeps eps byte-exact across a write/read round-trip.
   os << "H " << seq.capacity << ' '
      << std::setprecision(std::numeric_limits<double>::max_digits10)
      << seq.eps << ' ' << seq.name << "\n";
+  if (seq.bytes_per_tick > 0) {
+    os << "B " << seq.bytes_per_tick << "\n";
+  }
   for (const Update& u : seq.updates) {
-    os << (u.is_insert() ? 'I' : 'D') << ' ' << u.id << ' ' << u.size << "\n";
+    os << (u.is_insert() ? 'I' : 'D') << ' ' << u.id << ' ' << u.size;
+    if (u.size_bytes > 0) os << ' ' << u.size_bytes;
+    os << "\n";
   }
 }
 
@@ -33,13 +39,90 @@ void check_line_consumed(std::istringstream& ls, const std::string& line,
                                                       << line);
 }
 
+/// Optional trailing byte-size field; 0 when absent.
+Tick read_optional_bytes(std::istringstream& ls) {
+  Tick bytes = 0;
+  if (!(ls >> bytes)) {
+    ls.clear();
+    return 0;
+  }
+  return bytes;
+}
+
+struct TraceReader {
+  Sequence seq;
+  int version = 0;  ///< 0 until V is seen or v1 is inferred from H
+  bool have_header = false;
+  std::unordered_map<ItemId, std::pair<Tick, Tick>> live;  ///< id -> (size, bytes)
+  Tick mass = 0;
+
+  /// Byte-mode constructs require an explicit `V 2`.
+  void require_v2(const char* what, std::size_t lineno) const {
+    MEMREAL_CHECK_MSG(version >= 2, what << " on trace line " << lineno
+                                         << " requires version 2 (trace is "
+                                            "version "
+                                         << version << ")");
+  }
+
+  void check_bytes(ItemId id, Tick size, Tick bytes,
+                   std::size_t lineno) const {
+    if (bytes == 0) return;
+    require_v2("byte-size field", lineno);
+    MEMREAL_CHECK_MSG(seq.bytes_per_tick > 0,
+                      "byte-size field on trace line "
+                          << lineno
+                          << " before a B bytes_per_tick line (version "
+                          << version << ")");
+    const Tick ticks =
+        (bytes + seq.bytes_per_tick - 1) / seq.bytes_per_tick;
+    MEMREAL_CHECK_MSG(ticks == size, "byte size "
+                                         << bytes << " of id " << id
+                                         << " at line " << lineno
+                                         << " rounds to " << ticks
+                                         << " ticks, not " << size);
+  }
+
+  void apply_insert(ItemId id, Tick size, Tick bytes, std::size_t lineno) {
+    MEMREAL_CHECK_MSG(size > 0,
+                      "zero-size item " << id << " at line " << lineno);
+    check_bytes(id, size, bytes, lineno);
+    MEMREAL_CHECK_MSG(live.emplace(id, std::make_pair(size, bytes)).second,
+                      "duplicate live id " << id << " at line " << lineno);
+    // Overflow-safe form of mass + size + eps_ticks <= capacity (a
+    // corrupt trace may carry sizes near 2^64).
+    MEMREAL_CHECK_MSG(size <= seq.capacity - seq.eps_ticks - mass,
+                      "insert of id " << id << " at line " << lineno
+                                      << " breaks the load-factor promise");
+    mass += size;
+    seq.updates.push_back(Update::insert(id, size, bytes));
+  }
+
+  void apply_delete(ItemId id, Tick size, Tick bytes, std::size_t lineno) {
+    MEMREAL_CHECK_MSG(size > 0,
+                      "zero-size item " << id << " at line " << lineno);
+    check_bytes(id, size, bytes, lineno);
+    const auto it = live.find(id);
+    MEMREAL_CHECK_MSG(it != live.end(),
+                      "delete of absent id " << id << " at line " << lineno);
+    MEMREAL_CHECK_MSG(it->second.first == size,
+                      "delete size mismatch for id "
+                          << id << " at line " << lineno << " (live "
+                          << it->second.first << ", trace " << size << ")");
+    MEMREAL_CHECK_MSG(it->second.second == bytes,
+                      "delete byte-size mismatch for id "
+                          << id << " at line " << lineno << " (live "
+                          << it->second.second << ", trace " << bytes
+                          << ")");
+    mass -= it->second.first;
+    live.erase(it);
+    seq.updates.push_back(Update::erase(id, size, bytes));
+  }
+};
+
 }  // namespace
 
 Sequence read_trace(std::istream& is) {
-  Sequence seq;
-  bool have_header = false;
-  std::unordered_map<ItemId, Tick> live;
-  Tick mass = 0;
+  TraceReader r;
   std::string line;
   std::size_t lineno = 0;
   while (std::getline(is, line)) {
@@ -48,73 +131,106 @@ Sequence read_trace(std::istream& is) {
     std::istringstream ls(line);
     char tag = 0;
     ls >> tag;
-    if (tag == 'H') {
-      MEMREAL_CHECK_MSG(!have_header,
+    if (tag == 'V') {
+      MEMREAL_CHECK_MSG(r.version == 0 && !r.have_header,
+                        "V line at line " << lineno
+                                          << " must be the first directive "
+                                             "(before the header)");
+      int v = 0;
+      ls >> v;
+      MEMREAL_CHECK_MSG(static_cast<bool>(ls),
+                        "malformed V line at line " << lineno << ": "
+                                                    << line);
+      check_line_consumed(ls, line, lineno);
+      MEMREAL_CHECK_MSG(v == 1 || v == 2, "unsupported trace version "
+                                              << v << " at line " << lineno
+                                              << " (this reader handles "
+                                                 "1 and 2)");
+      r.version = v;
+    } else if (tag == 'H') {
+      MEMREAL_CHECK_MSG(!r.have_header,
                         "duplicate trace header at line " << lineno);
-      ls >> seq.capacity >> seq.eps;
+      // A trace that opens with H (no V line) is the pre-versioning
+      // format, read as version 1.
+      if (r.version == 0) r.version = 1;
+      ls >> r.seq.capacity >> r.seq.eps;
       MEMREAL_CHECK_MSG(static_cast<bool>(ls),
                         "malformed trace header at line " << lineno << ": "
                                                           << line);
       // The name is the rest of the line (it may contain spaces — exactly
       // what write_trace emits), minus the separating whitespace.
       ls >> std::ws;
-      std::getline(ls, seq.name);
-      MEMREAL_CHECK_MSG(!seq.name.empty(),
+      std::getline(ls, r.seq.name);
+      MEMREAL_CHECK_MSG(!r.seq.name.empty(),
                         "trace header missing sequence name at line "
                             << lineno);
-      MEMREAL_CHECK_MSG(seq.capacity > 0,
+      MEMREAL_CHECK_MSG(r.seq.capacity > 0,
                         "trace header has zero capacity at line " << lineno);
-      MEMREAL_CHECK_MSG(seq.eps > 0.0 && seq.eps < 1.0,
+      MEMREAL_CHECK_MSG(r.seq.eps > 0.0 && r.seq.eps < 1.0,
                         "trace header eps outside (0, 1) at line " << lineno);
-      seq.eps_ticks =
-          static_cast<Tick>(seq.eps * static_cast<double>(seq.capacity));
+      r.seq.eps_ticks = static_cast<Tick>(
+          r.seq.eps * static_cast<double>(r.seq.capacity));
       // Downstream consumers (Memory, SequenceBuilder) reject eps_ticks ==
       // 0; fail here with the line instead of deep inside a replay.
-      MEMREAL_CHECK_MSG(seq.eps_ticks > 0,
+      MEMREAL_CHECK_MSG(r.seq.eps_ticks > 0,
                         "trace header eps truncates to zero ticks at line "
                             << lineno);
-      have_header = true;
+      r.have_header = true;
+    } else if (tag == 'B') {
+      MEMREAL_CHECK_MSG(r.have_header,
+                        "trace line " << lineno << " before header");
+      r.require_v2("B line", lineno);
+      MEMREAL_CHECK_MSG(r.seq.bytes_per_tick == 0,
+                        "duplicate B line at line " << lineno);
+      MEMREAL_CHECK_MSG(r.seq.updates.empty(),
+                        "B line at line " << lineno
+                                          << " must precede all updates");
+      ls >> r.seq.bytes_per_tick;
+      MEMREAL_CHECK_MSG(static_cast<bool>(ls) && r.seq.bytes_per_tick > 0,
+                        "malformed B line at line " << lineno << ": "
+                                                    << line);
+      check_line_consumed(ls, line, lineno);
     } else if (tag == 'I' || tag == 'D') {
-      MEMREAL_CHECK_MSG(have_header,
+      MEMREAL_CHECK_MSG(r.have_header,
                         "trace line " << lineno << " before header");
       ItemId id = 0;
       Tick size = 0;
       ls >> id >> size;
       MEMREAL_CHECK_MSG(static_cast<bool>(ls), "malformed trace line "
                                                    << lineno << ": " << line);
+      const Tick bytes = read_optional_bytes(ls);
       check_line_consumed(ls, line, lineno);
-      MEMREAL_CHECK_MSG(size > 0,
-                        "zero-size item " << id << " at line " << lineno);
       if (tag == 'I') {
-        MEMREAL_CHECK_MSG(live.emplace(id, size).second,
-                          "duplicate live id " << id << " at line " << lineno);
-        // Overflow-safe form of mass + size + eps_ticks <= capacity (a
-        // corrupt trace may carry sizes near 2^64).
-        MEMREAL_CHECK_MSG(
-            size <= seq.capacity - seq.eps_ticks - mass,
-            "insert of id " << id << " at line " << lineno
-                            << " breaks the load-factor promise");
-        mass += size;
-        seq.updates.push_back(Update::insert(id, size));
+        r.apply_insert(id, size, bytes, lineno);
       } else {
-        const auto it = live.find(id);
-        MEMREAL_CHECK_MSG(it != live.end(), "delete of absent id "
-                                                << id << " at line " << lineno);
-        MEMREAL_CHECK_MSG(it->second == size,
-                          "delete size mismatch for id "
-                              << id << " at line " << lineno << " (live "
-                              << it->second << ", trace " << size << ")");
-        mass -= it->second;
-        live.erase(it);
-        seq.updates.push_back(Update::erase(id, size));
+        r.apply_delete(id, size, bytes, lineno);
       }
+    } else if (tag == 'R') {
+      MEMREAL_CHECK_MSG(r.have_header,
+                        "trace line " << lineno << " before header");
+      r.require_v2("R (reallocate) line", lineno);
+      ItemId old_id = 0;
+      ItemId new_id = 0;
+      Tick new_size = 0;
+      ls >> old_id >> new_id >> new_size;
+      MEMREAL_CHECK_MSG(static_cast<bool>(ls), "malformed trace line "
+                                                   << lineno << ": " << line);
+      const Tick new_bytes = read_optional_bytes(ls);
+      check_line_consumed(ls, line, lineno);
+      const auto it = r.live.find(old_id);
+      MEMREAL_CHECK_MSG(it != r.live.end(), "reallocate of absent id "
+                                                << old_id << " at line "
+                                                << lineno);
+      const auto [old_size, old_bytes] = it->second;
+      r.apply_delete(old_id, old_size, old_bytes, lineno);
+      r.apply_insert(new_id, new_size, new_bytes, lineno);
     } else {
       MEMREAL_CHECK_MSG(false, "unknown trace tag '" << tag << "' at line "
                                                      << lineno);
     }
   }
-  MEMREAL_CHECK_MSG(have_header, "trace without header");
-  return seq;
+  MEMREAL_CHECK_MSG(r.have_header, "trace without header");
+  return std::move(r.seq);
 }
 
 std::string trace_to_string(const Sequence& seq) {

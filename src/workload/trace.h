@@ -1,6 +1,23 @@
 // Trace serialization: record a Sequence to a plain-text stream and replay
-// it later.  Lines are "# comment", "H capacity eps" (header), "I id size",
-// and "D id size".
+// it later.
+//
+// Version 2 (what write_trace emits):
+//
+//   # comment
+//   V 2                       format version; must precede the header
+//   H capacity eps name       header
+//   B bytes_per_tick          byte-space granule (byte-mode traces only)
+//   I id size [bytes]         insert; optional payload byte size
+//   D id size [bytes]         delete; byte size must echo the insert
+//   R old new size [bytes]    reallocate(ptr, old, new): expands to a
+//                             delete of `old` followed by an insert of the
+//                             fresh id `new` — the capture format for
+//                             byte-level realloc traces
+//
+// Version 1 (the pre-versioning format) had no V/B/R lines and no byte
+// fields; a trace whose first directive is H is read as v1 for back
+// compatibility.  Byte-mode constructs in a v1 trace are errors, and
+// every parse error names the offending line and the trace version.
 #pragma once
 
 #include <iosfwd>

@@ -1,0 +1,148 @@
+#include "workload/vm_heap.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/check.h"
+
+namespace memreal {
+
+namespace {
+
+/// Log-uniform byte size in [min_bytes, max_bytes].
+Tick draw_log_uniform(Rng& rng, Tick min_bytes, Tick max_bytes) {
+  if (min_bytes == max_bytes) return min_bytes;
+  const double lo = std::log(static_cast<double>(min_bytes));
+  const double hi = std::log(static_cast<double>(max_bytes) + 1.0);
+  const double v = std::exp(lo + rng.next_double() * (hi - lo));
+  return std::clamp(static_cast<Tick>(v), min_bytes, max_bytes);
+}
+
+}  // namespace
+
+Sequence make_vm_heap(const VmHeapConfig& c) {
+  MEMREAL_CHECK(c.bytes_per_tick > 0);
+  MEMREAL_CHECK(c.min_bytes > 0 && c.min_bytes <= c.max_bytes);
+  MEMREAL_CHECK(c.target_load > 0.0 && c.target_load <= 1.0);
+  MEMREAL_CHECK(c.grow_prob >= 0.0 && c.grow_prob <= 1.0);
+  MEMREAL_CHECK(c.growth_factor > 1.0);
+  MEMREAL_CHECK(c.gc_death_fraction >= 0.0 && c.gc_death_fraction <= 1.0);
+  MEMREAL_CHECK(c.young_death_bias >= 1.0);
+
+  SequenceBuilder b("vm_heap", c.capacity, c.eps, c.bytes_per_tick);
+  Rng rng(c.seed);
+
+  std::vector<Tick> palette;
+  if (c.distinct_sizes > 0) {
+    while (palette.size() < c.distinct_sizes) {
+      const Tick v = draw_log_uniform(rng, c.min_bytes, c.max_bytes);
+      if (std::find(palette.begin(), palette.end(), v) == palette.end()) {
+        palette.push_back(v);
+      }
+      // A narrow band may hold fewer distinct values than requested.
+      if (palette.size() >=
+          std::min<std::size_t>(c.distinct_sizes,
+                                c.max_bytes - c.min_bytes + 1)) {
+        break;
+      }
+    }
+  }
+
+  auto draw_bytes = [&]() -> Tick {
+    if (!palette.empty()) {
+      return palette[rng.next_below(palette.size())];
+    }
+    return draw_log_uniform(rng, c.min_bytes, c.max_bytes);
+  };
+  /// The next palette value above `bytes` (realloc growth must stay on
+  /// the palette); in free mode, growth_factor * bytes capped to the band.
+  auto grown_bytes = [&](Tick bytes) -> Tick {
+    if (!palette.empty()) {
+      Tick best = 0;
+      for (const Tick v : palette) {
+        if (v > bytes && (best == 0 || v < best)) best = v;
+      }
+      return best == 0 ? bytes : best;
+    }
+    const double g = std::ceil(static_cast<double>(bytes) * c.growth_factor);
+    return std::clamp(static_cast<Tick>(g), c.min_bytes, c.max_bytes);
+  };
+
+  // Births mirror the builder's swap-compacted live table exactly: push on
+  // insert, swap-with-last on erase.  The values order items by age.
+  std::vector<std::uint64_t> birth;
+  std::uint64_t clock = 0;
+  auto track_insert = [&](Tick bytes) -> bool {
+    if (!b.can_insert(b.ticks_for_bytes(bytes))) return false;
+    b.insert_bytes(bytes);
+    birth.push_back(clock++);
+    return true;
+  };
+  auto track_erase = [&](std::size_t index) {
+    b.erase_at(index);
+    birth[index] = birth.back();
+    birth.pop_back();
+  };
+  /// Generational victim: a 2-choice tournament keeps the younger
+  /// candidate with probability bias / (bias + 1) — cheap, and yields the
+  /// infant-mortality skew without sorting the live table.
+  auto pick_victim = [&]() -> std::size_t {
+    const std::size_t a = rng.next_below(birth.size());
+    const std::size_t d = rng.next_below(birth.size());
+    const std::size_t young = birth[a] >= birth[d] ? a : d;
+    const std::size_t old = birth[a] >= birth[d] ? d : a;
+    const double p_young = c.young_death_bias / (c.young_death_bias + 1.0);
+    return rng.next_double() < p_young ? young : old;
+  };
+
+  // Fill toward the target load.
+  const Tick target_mass = static_cast<Tick>(
+      c.target_load * static_cast<double>(b.budget()));
+  while (b.live_mass() < target_mass) {
+    if (!track_insert(draw_bytes())) break;
+  }
+
+  // Churn.
+  const std::size_t fill_updates = b.update_count();
+  std::size_t step = 0;
+  while (b.update_count() - fill_updates < c.churn_updates) {
+    ++step;
+    const std::size_t before = b.update_count();
+    if (c.gc_period != 0 && step % c.gc_period == 0 && b.live_count() > 0) {
+      // Compaction burst: free a slice of the heap, then re-fill it.
+      const auto kills = static_cast<std::size_t>(
+          c.gc_death_fraction * static_cast<double>(b.live_count()));
+      for (std::size_t k = 0; k < kills && b.live_count() > 0; ++k) {
+        track_erase(pick_victim());
+      }
+      while (b.live_mass() < target_mass) {
+        if (!track_insert(draw_bytes())) break;
+      }
+      continue;
+    }
+    if (b.live_count() > 0 && rng.next_double() < c.grow_prob) {
+      // Grow-realloc chain: realloc(ptr, old, new) as delete + insert.
+      const std::size_t i = rng.next_below(b.live_count());
+      const Tick old_bytes = b.bytes_at(i);
+      const Tick new_bytes = grown_bytes(old_bytes);
+      track_erase(i);
+      if (!track_insert(new_bytes)) track_insert(old_bytes);
+      continue;
+    }
+    // Generational death + fresh allocation.
+    if (b.live_count() > 0) track_erase(pick_victim());
+    track_insert(draw_bytes());
+    MEMREAL_CHECK_MSG(b.update_count() > before,
+                      "vm_heap made no progress (capacity "
+                          << c.capacity << " cannot hold an item of "
+                          << c.min_bytes << " bytes at granule "
+                          << c.bytes_per_tick << ")");
+  }
+
+  Sequence seq = b.take();
+  seq.check_well_formed();
+  return seq;
+}
+
+}  // namespace memreal

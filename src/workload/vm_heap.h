@@ -1,0 +1,59 @@
+// VM/GC-heap workload: the byte-space scenario family the arena layer
+// exists for (zym_core/MochiVM-style managed heaps).
+//
+// Three mechanisms drive the stream, all expressed as well-formed
+// insert/delete updates carrying real byte sizes:
+//
+//   * grow-realloc chains — a live object is reallocated to
+//     ceil(growth_factor * bytes): delete + insert of a fresh id, the
+//     update-stream shape of realloc(ptr, old, new) (vector doubling,
+//     string append, growing hash tables)
+//   * generational death  — steady-state frees prefer the youngest
+//     objects (weight young_death_bias), the classic infant-mortality
+//     skew of managed heaps
+//   * compaction bursts   — every gc_period churn steps, a sweep frees
+//     gc_death_fraction of the heap and the freed mass is re-filled with
+//     fresh allocations: the allocator sees the dense delete/insert wave
+//     a moving collector produces
+//
+// Sizes are log-uniform over [min_bytes, max_bytes] (heaps are dominated
+// by small objects but carry a long tail), optionally quantized to a
+// fixed palette of distinct_sizes values so the stream stays admissible
+// for structured-size allocators (DISCRETE).
+#pragma once
+
+#include <cstdint>
+
+#include "workload/sequence.h"
+
+namespace memreal {
+
+struct VmHeapConfig {
+  Tick capacity = Tick{1} << 22;  ///< ticks
+  double eps = 1.0 / 64;
+  Tick bytes_per_tick = 8;  ///< granule; byte sizes round up to ticks
+  Tick min_bytes = 16;      ///< object payload band, inclusive
+  Tick max_bytes = 4096;
+  /// 0 = sample the band freely; > 0 = draw this many distinct sizes
+  /// once and sample only those (DISCRETE-compatible streams).
+  std::size_t distinct_sizes = 0;
+  /// Fill until live mass reaches this fraction of the budget
+  /// (capacity - eps); churn keeps the load near this level.
+  double target_load = 0.85;
+  /// Per churn step: probability the step is a grow-realloc of a live
+  /// object instead of a death + fresh allocation.
+  double grow_prob = 0.35;
+  double growth_factor = 1.618;
+  /// Death skew: the youngest live object is this many times more likely
+  /// to die than the oldest (1.0 = uniform).
+  double young_death_bias = 4.0;
+  /// Churn steps between compaction bursts; 0 disables bursts.
+  std::size_t gc_period = 512;
+  double gc_death_fraction = 0.3;  ///< heap fraction freed per burst
+  std::size_t churn_updates = 10'000;  ///< updates after the fill phase
+  std::uint64_t seed = 1;
+};
+
+[[nodiscard]] Sequence make_vm_heap(const VmHeapConfig& config);
+
+}  // namespace memreal

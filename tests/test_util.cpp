@@ -10,9 +10,13 @@
 #include <string>
 #include <vector>
 
+#include <cstdint>
+#include <unordered_map>
+
 #include "fuzz/fuzzer.h"
 #include "util/check.h"
 #include "util/fit.h"
+#include "util/flat_map.h"
 #include "util/json.h"
 #include "util/parallel.h"
 #include "util/rng.h"
@@ -567,6 +571,143 @@ TEST(Check, ThrowsWithMessage) {
     FAIL();
   } catch (const InvariantViolation& e) {
     EXPECT_NE(std::string(e.what()).find("context 42"), std::string::npos);
+  }
+}
+
+// -- FlatIdMap deletion churn ---------------------------------------------
+
+// FlatIdMap's own SplitMix64 finalizer, replicated so tests can craft
+// keys with chosen home buckets (probe-chain clustering, wrap-around).
+std::uint64_t flat_map_mix(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// The next id >= `start` whose home bucket is `home` in a table of
+/// `buckets` (power of two) slots.
+ItemId key_with_home(std::size_t home, std::size_t buckets, ItemId start) {
+  ItemId id = start;
+  while ((flat_map_mix(id) & (buckets - 1)) != home) ++id;
+  return id;
+}
+
+TEST(FlatIdMap, BackwardShiftRepairsAWrappedProbeChain) {
+  // Three keys homed at the LAST bucket of an 8-slot table occupy buckets
+  // 7, 0, 1 — a probe chain crossing the wrap-around.  Erasing the head
+  // exercises the wrapped arm of the backward-shift reachability test.
+  FlatIdMap<int> m(8);
+  const ItemId k1 = key_with_home(7, 8, 1);
+  const ItemId k2 = key_with_home(7, 8, k1 + 1);
+  const ItemId k3 = key_with_home(7, 8, k2 + 1);
+  m[k1] = 1;
+  m[k2] = 2;
+  m[k3] = 3;
+  m.erase(k1);
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_EQ(m.find(k1), nullptr);
+  ASSERT_NE(m.find(k2), nullptr);
+  EXPECT_EQ(*m.find(k2), 2);
+  ASSERT_NE(m.find(k3), nullptr);
+  EXPECT_EQ(*m.find(k3), 3);
+  m.erase(k2);
+  ASSERT_NE(m.find(k3), nullptr);
+  EXPECT_EQ(*m.find(k3), 3);
+}
+
+TEST(FlatIdMap, BackwardShiftDoesNotLiftAKeyPastItsHome) {
+  // A key homed exactly at the erased slot's successor must NOT be
+  // back-shifted into the hole (it is unreachable from the hole's probe
+  // position) — the classic backward-shift-deletion trap.
+  FlatIdMap<int> m(8);
+  const ItemId at3 = key_with_home(3, 8, 1);
+  const ItemId at4 = key_with_home(4, 8, at3 + 1);
+  m[at3] = 33;
+  m[at4] = 44;  // sits in its own home bucket 4, not displaced
+  m.erase(at3);
+  ASSERT_NE(m.find(at4), nullptr);
+  EXPECT_EQ(*m.find(at4), 44);
+  // at4 must still be at its home (re-inserting a fresh key homed at 3
+  // cannot collide with it).
+  const ItemId fresh = key_with_home(3, 8, at4 + 1);
+  m[fresh] = 55;
+  EXPECT_EQ(*m.find(at4), 44);
+  EXPECT_EQ(*m.find(fresh), 55);
+}
+
+TEST(FlatIdMap, GrowthBoundaryPreservesEveryEntry) {
+  // Load factor 5/8: an 8-slot table grows on the 5th insert, 16 on the
+  // 10th, ... — insert across several boundaries and verify every entry
+  // after each step.
+  FlatIdMap<std::uint64_t> m(8);
+  std::vector<ItemId> keys;
+  for (ItemId id = 1; id <= 200; ++id) {
+    m[id] = id * 7;
+    keys.push_back(id);
+    if (keys.size() % 5 == 0) {  // around each x5/8 boundary
+      for (const ItemId k : keys) {
+        ASSERT_NE(m.find(k), nullptr) << "after inserting " << id;
+        ASSERT_EQ(*m.find(k), k * 7);
+      }
+    }
+  }
+  EXPECT_EQ(m.size(), 200u);
+}
+
+TEST(FlatIdMap, ReinsertAfterEraseValueInitializes) {
+  FlatIdMap<int> m(8);
+  m[42] = 9;
+  m.erase(42);
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_EQ(m[42], 0) << "operator[] must value-initialize a fresh entry";
+  m[42] = 10;
+  EXPECT_EQ(m.at(42), 10);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatIdMap, EraseOfAbsentKeyIsANoop) {
+  FlatIdMap<int> m(8);
+  m[1] = 1;
+  m.erase(999);
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_EQ(m.at(1), 1);
+}
+
+TEST(FlatIdMap, RandomizedChurnMatchesUnorderedMap) {
+  FlatIdMap<std::uint64_t> m(8);
+  std::unordered_map<ItemId, std::uint64_t> ref;
+  Rng rng(2024);
+  for (int step = 0; step < 20000; ++step) {
+    const ItemId id = 1 + rng.next_below(400);  // dense: heavy collisions
+    switch (rng.next_below(3)) {
+      case 0:
+        m[id] = step;
+        ref[id] = step;
+        break;
+      case 1:
+        m.erase(id);
+        ref.erase(id);
+        break;
+      default: {
+        const std::uint64_t* got = m.find(id);
+        const auto it = ref.find(id);
+        if (it == ref.end()) {
+          ASSERT_EQ(got, nullptr) << "step " << step << " id " << id;
+        } else {
+          ASSERT_NE(got, nullptr) << "step " << step << " id " << id;
+          ASSERT_EQ(*got, it->second);
+        }
+        break;
+      }
+    }
+    ASSERT_EQ(m.size(), ref.size()) << "step " << step;
+  }
+  for (const auto& [id, v] : ref) {
+    ASSERT_NE(m.find(id), nullptr);
+    ASSERT_EQ(*m.find(id), v);
   }
 }
 

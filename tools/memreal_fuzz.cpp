@@ -1,31 +1,6 @@
 // memreal_fuzz — differential fuzzing driver over the allocator registry.
-//
-//   memreal_fuzz [options]
-//     --seed N           campaign seed (default 1)
-//     --iters N          iterations (default 100)
-//     --start-iter N     first iteration index (default 0); reproduce a
-//                        failure with --seed S --start-iter I --iters 1
-//     --updates N        updates per generated sequence (default 200)
-//     --mutants N        mutants chained off each base sequence (default 2)
-//     --allocators a,b   comma-separated registry names (default: all)
-//     --engine E         "validated" (default) or "release": release also
-//                        runs every target on the unchecked release engine
-//                        in lockstep and reports any cost/counter/layout
-//                        difference as engine-divergence
-//     --threads N        worker threads (default: all cores)
-//     --capacity-log2 N  memory capacity 2^N ticks (default 40)
-//     --budget-slack X   multiplier on the registry cost budgets (default 1)
-//     --no-shrink        keep failing sequences unminimized
-//     --corpus DIR       persist shrunk reproducers under DIR
-//                        (default fuzz/corpus; "" disables persistence)
-//     --replay DIR       replay a reproducer corpus instead of fuzzing
-//     --list             print the fuzz target groups and exit
-//
-// Exit status: 0 = clean, 1 = failures found, 2 = usage error.
-//
-// Determinism: the failure set and every reproducer trace are a pure
-// function of (--seed, --start-iter, --iters, workload shape flags) —
-// thread count only changes the wall clock.
+// Run with --help for usage.  Exit status: 0 = clean, 1 = failures
+// found, 2 = usage error.
 #include <bit>
 #include <cstdio>
 #include <cstdlib>
@@ -43,6 +18,37 @@ namespace {
 
 using namespace memreal;
 
+constexpr const char* kUsage = R"(memreal_fuzz [options]
+  --seed N           campaign seed (default 1)
+  --iters N          iterations (default 100)
+  --start-iter N     first iteration index (default 0); reproduce a
+                     failure with --seed S --start-iter I --iters 1
+  --updates N        updates per generated sequence (default 200)
+  --mutants N        mutants chained off each base sequence (default 2)
+  --allocators a,b   comma-separated registry names (default: all)
+  --engine E         "validated" (default), "release", or "arena".
+                     release also runs every target on the unchecked
+                     release engine in lockstep and reports any
+                     cost/counter/layout difference as
+                     engine-divergence; arena locksteps each target
+                     against a byte-backed arena cell, checking payload
+                     integrity and the byte/tick rounding bound on top
+                     (pair with a small --capacity-log2 — every tick is
+                     a real byte payload)
+  --threads N        worker threads (default: all cores)
+  --capacity-log2 N  memory capacity 2^N ticks (default 40)
+  --budget-slack X   multiplier on the registry cost budgets (default 1)
+  --no-shrink        keep failing sequences unminimized
+  --corpus DIR       persist shrunk reproducers under DIR
+                     (default fuzz/corpus; "" disables persistence)
+  --replay DIR       replay a reproducer corpus instead of fuzzing
+  --list             print the fuzz target groups and exit
+
+Determinism: the failure set and every reproducer trace are a pure
+function of (--seed, --start-iter, --iters, workload shape flags) —
+thread count only changes the wall clock.
+)";
+
 std::vector<std::string> split_csv(const std::string& csv) {
   std::vector<std::string> out;
   std::size_t start = 0;
@@ -58,8 +64,7 @@ std::vector<std::string> split_csv(const std::string& csv) {
 }
 
 [[noreturn]] void usage_error(const std::string& what) {
-  std::fprintf(stderr, "memreal_fuzz: %s (see the header of "
-                       "tools/memreal_fuzz.cpp for usage)\n",
+  std::fprintf(stderr, "memreal_fuzz: %s (run with --help for usage)\n",
                what.c_str());
   std::exit(2);
 }
@@ -158,7 +163,10 @@ int main(int argc, char** argv) {
       if (i + 1 >= argc) usage_error("missing value for " + flag);
       return argv[++i];
     };
-    if (flag == "--seed") {
+    if (flag == "--help" || flag == "-h") {
+      std::fputs(kUsage, stdout);
+      return 0;
+    } else if (flag == "--seed") {
       cfg.seed = parse_u64(flag, value());
     } else if (flag == "--iters") {
       cfg.iterations = static_cast<std::size_t>(parse_u64(flag, value()));
@@ -174,8 +182,9 @@ int main(int argc, char** argv) {
       cfg.allocators = split_csv(value());
     } else if (flag == "--engine") {
       cfg.engine = value();
-      if (cfg.engine != "validated" && cfg.engine != "release") {
-        usage_error("--engine must be 'validated' or 'release'");
+      if (cfg.engine != "validated" && cfg.engine != "release" &&
+          cfg.engine != "arena") {
+        usage_error("--engine must be 'validated', 'release', or 'arena'");
       }
     } else if (flag == "--threads") {
       cfg.threads = static_cast<std::size_t>(parse_u64(flag, value()));

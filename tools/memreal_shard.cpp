@@ -1,33 +1,6 @@
 // memreal_shard — throughput driver for the sharded multi-cell engine.
-//
-//   memreal_shard [options]
-//     --allocator NAME   registry allocator for every cell (default simple)
-//     --engine E         cell engine: validated (default) or release — the
-//                        unchecked slab fast path (correctness covered by
-//                        ctest -L release and memreal_fuzz --engine release)
-//     --shards N         cell count (default 8)
-//     --threads N        worker threads (default 0 = all cores)
-//     --eps X            free-space parameter (default 0.015625)
-//     --router P         hash | size-class | round-robin (default hash)
-//     --workload W       churn | multi-tenant | skewed (default churn)
-//     --updates N        churn updates in the workload (default 20000)
-//     --tenants N        tenants for multi-tenant/skewed (default 8)
-//     --zipf S           tenant skew exponent (default 1 / 2 for skewed)
-//     --batch N          updates per parallel round (default 4096)
-//     --rebalance X      live-mass imbalance threshold, >= 1 enables the
-//                        between-batch rebalancer (default 0 = off)
-//     --seed N           workload + allocator seed (default 1)
-//     --capacity-log2 N  per-shard capacity 2^N ticks (default 40)
-//     --audit-every N    full per-cell audit cadence (default 0 = final only)
-//     --no-validate      disable incremental per-update validation
-//     --json FILE        also write the results as JSON to FILE
-//     --quiet            suppress the tables (summary line + JSON only)
-//
-// The workload's size band comes from the allocator's registered
-// AllocatorInfo size profile, evaluated against the *shard* capacity, so
-// every generated item is admissible for the chosen allocator.  The run
-// ends with a full audit of every cell; exit status 0 = clean, 1 =
-// invariant violation, 2 = usage error.
+// Run with --help for usage.  Exit status 0 = clean, 1 = invariant
+// violation, 2 = usage error.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -43,14 +16,66 @@
 #include "util/table.h"
 #include "workload/churn.h"
 #include "workload/multi_tenant.h"
+#include "workload/vm_heap.h"
 
 namespace {
 
 using namespace memreal;
 
+constexpr const char* kUsage = R"(memreal_shard [options]
+  --allocator NAME   registry allocator for every cell (default simple)
+  --engine E         cell engine: validated (default) or release — the
+                     unchecked slab fast path; its correctness story is
+                     ctest -L release plus memreal_fuzz --engine release
+  --arena            back every shard's cell with a real byte arena:
+                     payloads get physical addresses, moves execute real
+                     memmoves, and the run reports measured byte traffic.
+                     Lowers the default per-shard capacity to 2^22 ticks
+                     (a byte payload per tick; override with
+                     --capacity-log2)
+  --bytes-per-tick N byte-space granule for --arena (default 8); also
+                     the minimum allocation and alignment
+  --no-verify-payloads
+                     skip payload fill-pattern checks under --arena:
+                     measures raw memmove bandwidth instead of
+                     integrity-checked movement
+  --shards N         cell count (default 8)
+  --threads N        worker threads (default 0 = all cores)
+  --eps X            free-space parameter (default 0.015625)
+  --router P         hash | size-class | round-robin (default hash)
+  --workload W       churn | multi-tenant | skewed | vm_heap (default
+                     churn).  vm_heap is the byte-addressed GC-heap
+                     stream (grow-realloc chains, generational death,
+                     compaction bursts); pair it with --arena to
+                     exercise real payload movement
+  --updates N        churn updates in the workload (default 20000)
+  --tenants N        tenants for multi-tenant/skewed; palette size for
+                     vm_heap on fixed-palette allocators (default 8)
+  --zipf S           tenant skew exponent (default 1 / 2 for skewed)
+  --batch N          updates per parallel round (default 4096)
+  --rebalance X      live-mass imbalance threshold, >= 1 enables the
+                     between-batch rebalancer (default 0 = off)
+  --seed N           workload + allocator seed (default 1)
+  --capacity-log2 N  per-shard capacity 2^N ticks (default 40; 22 under
+                     --arena)
+  --audit-every N    full per-cell audit cadence (default 0 = final only)
+  --no-validate      disable incremental per-update validation
+  --json FILE        also write the results as JSON to FILE
+  --quiet            suppress the tables (summary line + JSON only)
+
+The workload's size band comes from the allocator's registered
+AllocatorInfo size profile, evaluated against the *shard* capacity, so
+every generated item is admissible for the chosen allocator.  The run
+ends with a full audit of every cell (including payload pattern
+verification under --arena).
+)";
+
 struct Options {
   std::string allocator = "simple";
   std::string engine = "validated";
+  bool arena = false;
+  Tick bytes_per_tick = 8;
+  bool verify_payloads = true;
   std::size_t shards = 8;
   std::size_t threads = 0;
   double eps = 1.0 / 64;
@@ -63,6 +88,7 @@ struct Options {
   double rebalance = 0.0;
   std::uint64_t seed = 1;
   unsigned capacity_log2 = 40;
+  bool capacity_log2_set = false;
   std::size_t audit_every = 0;
   bool validate = true;
   std::string json_path;
@@ -70,8 +96,7 @@ struct Options {
 };
 
 [[noreturn]] void usage_error(const std::string& what) {
-  std::fprintf(stderr, "memreal_shard: %s (see the header of "
-                       "tools/memreal_shard.cpp for usage)\n",
+  std::fprintf(stderr, "memreal_shard: %s (run with --help for usage)\n",
                what.c_str());
   std::exit(2);
 }
@@ -105,13 +130,23 @@ Options parse_args(int argc, char** argv) {
       if (i + 1 >= argc) usage_error("missing value for " + flag);
       return argv[++i];
     };
-    if (flag == "--allocator") {
+    if (flag == "--help" || flag == "-h") {
+      std::fputs(kUsage, stdout);
+      std::exit(0);
+    } else if (flag == "--allocator") {
       o.allocator = next();
     } else if (flag == "--engine") {
       o.engine = next();
       if (o.engine != "validated" && o.engine != "release") {
         usage_error("--engine must be 'validated' or 'release'");
       }
+    } else if (flag == "--arena") {
+      o.arena = true;
+    } else if (flag == "--bytes-per-tick") {
+      o.bytes_per_tick = parse_u64(flag, next());
+      if (o.bytes_per_tick == 0) usage_error("--bytes-per-tick must be >= 1");
+    } else if (flag == "--no-verify-payloads") {
+      o.verify_payloads = false;
     } else if (flag == "--shards") {
       o.shards = static_cast<std::size_t>(parse_u64(flag, next()));
     } else if (flag == "--threads") {
@@ -138,6 +173,7 @@ Options parse_args(int argc, char** argv) {
       const std::uint64_t v = parse_u64(flag, next());
       if (v < 10 || v > 50) usage_error("--capacity-log2 must be in [10, 50]");
       o.capacity_log2 = static_cast<unsigned>(v);
+      o.capacity_log2_set = true;
     } else if (flag == "--audit-every") {
       o.audit_every = static_cast<std::size_t>(parse_u64(flag, next()));
     } else if (flag == "--no-validate") {
@@ -151,6 +187,9 @@ Options parse_args(int argc, char** argv) {
     }
   }
   if (o.shards == 0) usage_error("--shards must be >= 1");
+  // An arena shard carries a real byte payload per tick; the tick-only
+  // default capacity would ask for terabytes of physical arena.
+  if (o.arena && !o.capacity_log2_set) o.capacity_log2 = 22;
   // The global workload spans shards * 2^capacity-log2 ticks; reject
   // combinations that would wrap the tick space.
   if (o.shards > (std::numeric_limits<Tick>::max() >> o.capacity_log2)) {
@@ -158,9 +197,9 @@ Options parse_args(int argc, char** argv) {
   }
   if (o.eps <= 0.0 || o.eps >= 1.0) usage_error("--eps must be in (0, 1)");
   if (o.workload != "churn" && o.workload != "multi-tenant" &&
-      o.workload != "skewed") {
+      o.workload != "skewed" && o.workload != "vm_heap") {
     usage_error("unknown workload '" + o.workload +
-                "' (known: churn, multi-tenant, skewed)");
+                "' (known: churn, multi-tenant, skewed, vm_heap)");
   }
   return o;
 }
@@ -173,6 +212,27 @@ Sequence make_workload(const Options& o, Tick shard_capacity) {
   const Tick global_capacity = shard_capacity * o.shards;
   const Tick min_size = info.sizes.min_size(o.eps, shard_capacity);
   const Tick max_size = info.sizes.max_size(o.eps, shard_capacity) - 1;
+  if (o.workload == "vm_heap") {
+    // Byte band derived from the allocator's tick band: the smallest
+    // byte size that still rounds up to min_size ticks, up to the
+    // largest that fits in max_size ticks.
+    const Tick bpt = o.bytes_per_tick;
+    VmHeapConfig c;
+    c.capacity = global_capacity;
+    c.eps = o.eps;
+    c.bytes_per_tick = bpt;
+    c.min_bytes = (min_size - 1) * bpt + 1;
+    c.max_bytes = max_size * bpt;
+    c.distinct_sizes = info.sizes.fixed_palette ? o.tenants : 0;
+    // The generator's default fill (0.85) is admissible for one cell but
+    // leaves no routing headroom across shards: a GC burst's refill wave
+    // can find every shard near its own budget.  Match the headroom the
+    // other workloads run with.
+    c.target_load = 0.7;
+    c.churn_updates = o.updates;
+    c.seed = o.seed;
+    return make_vm_heap(c);
+  }
   if (o.workload == "churn") {
     if (info.sizes.fixed_palette) {
       DiscreteChurnConfig c;
@@ -231,6 +291,8 @@ Json results_json(const Options& o, const ShardedEngine& engine,
   Json config = Json::object();
   config.set("allocator", o.allocator)
       .set("engine", o.engine)
+      .set("arena", o.arena)
+      .set("bytes_per_tick", o.bytes_per_tick)
       .set("shards", static_cast<std::uint64_t>(o.shards))
       .set("threads", static_cast<std::uint64_t>(engine.thread_count()))
       .set("eps", o.eps)
@@ -252,6 +314,14 @@ Json results_json(const Options& o, const ShardedEngine& engine,
       .set("max_cost", stats.global.max_cost())
       .set("moved_mass", stats.global.moved_mass)
       .set("update_mass", stats.global.update_mass);
+  if (o.arena) {
+    global.set("moved_bytes", stats.global.moved_bytes)
+        .set("bytes_per_second",
+             stats.global.wall_seconds > 0.0
+                 ? static_cast<double>(stats.global.moved_bytes) /
+                       stats.global.wall_seconds
+                 : 0.0);
+  }
 
   Json routing = Json::object();
   routing.set("batches", static_cast<std::uint64_t>(stats.batches))
@@ -292,6 +362,9 @@ int run(const Options& o) {
   ShardedConfig config;
   config.engine = o.engine;
   config.allocator = o.allocator;
+  config.arena = o.arena;
+  config.bytes_per_tick = o.bytes_per_tick;
+  config.verify_payloads = o.verify_payloads;
   config.params.eps = o.eps;
   config.params.seed = o.seed;
   config.shards = o.shards;
@@ -336,6 +409,18 @@ int run(const Options& o) {
             << " updates/s (mean cost "
             << Table::num(stats.global.mean_cost(), 4) << ", ratio cost "
             << Table::num(stats.global.ratio_cost(), 4) << ")\n";
+  if (o.arena) {
+    std::cout << "arena: " << stats.global.moved_bytes
+              << " bytes physically moved ("
+              << Table::num(stats.global.wall_seconds > 0.0
+                                ? static_cast<double>(
+                                      stats.global.moved_bytes) /
+                                      stats.global.wall_seconds
+                                : 0.0,
+                            6)
+              << " bytes/s, granule " << o.bytes_per_tick
+              << " bytes/tick)\n";
+  }
 
   if (!o.json_path.empty()) {
     std::ofstream out(o.json_path);
