@@ -455,6 +455,66 @@ void eval_tarena(const BenchFile& f, Checker& c, std::string& headline) {
   }
 }
 
+// T-SERVE — the online serving layer: deterministic mode reproduces the
+// batch sharded engine bit-for-bit on every covered (allocator, engine)
+// pair, and the closed-loop load generator reports ordered latency
+// percentiles with a positive measured saturation throughput.
+void eval_tserve(const BenchFile& f, Checker& c, std::string& headline) {
+  const Json* det = require_series(f, "deterministic-verify", c);
+  if (det != nullptr) {
+    bool costs = true;
+    bool layouts = true;
+    std::size_t pairs = 0;
+    for (const auto& [key, row] : det->at("rows").items()) {
+      (void)key;
+      ++pairs;
+      costs &= row.at("costs_equal").as_u64() == 1;
+      layouts &= row.at("layouts_equal").as_u64() == 1;
+    }
+    c.check(pairs >= 2, "deterministic-verify covers " +
+                            std::to_string(pairs) +
+                            " allocator x engine pairs (>= 2)");
+    c.check(costs, "per-shard cost streams bit-identical to the batch "
+                   "engine on every pair");
+    c.check(layouts, "final layouts identical to the batch engine on "
+                     "every pair");
+  }
+  const Json* sweep = require_series(f, "latency-sweep", c);
+  if (sweep != nullptr) {
+    bool positive = true;
+    bool ordered = true;
+    std::size_t points = 0;
+    double sat_qps = 0;
+    double sat_p99 = 0;
+    std::uint64_t sat_clients = 0;
+    for (const auto& [key, row] : sweep->at("rows").items()) {
+      (void)key;
+      ++points;
+      const double qps = row.at("achieved_qps").as_double();
+      positive &= qps > 0;
+      const double p50 = row.at("p50_us").as_double();
+      const double p99 = row.at("p99_us").as_double();
+      const double p999 = row.at("p999_us").as_double();
+      ordered &= p50 <= p99 + 1e-12 && p99 <= p999 + 1e-12;
+      if (row.at("target_qps").as_double() == 0.0 && qps > sat_qps) {
+        sat_qps = qps;
+        sat_p99 = p99;
+        sat_clients = row.at("clients").as_u64();
+      }
+    }
+    c.check(points >= 1, "latency-sweep has measured points");
+    c.check(positive, "every point served requests (positive achieved "
+                      "qps)");
+    c.check(ordered, "p50 <= p99 <= p999 at every point");
+    c.check(sat_qps > 0,
+            "a saturation (target qps = 0) point was measured: peak " +
+                num(sat_qps, 6) + " req/s");
+    headline = "sat " + num(sat_qps, 6) + " req/s, p99 " +
+               num(sat_p99, 4) + " us at C = " +
+               std::to_string(sat_clients);
+  }
+}
+
 using EvalFn = void (*)(const BenchFile&, Checker&, std::string&);
 
 struct ClaimRule {
@@ -517,6 +577,12 @@ const std::vector<ClaimRule>& claim_rules() {
         "measured byte traffic obeys the granule rounding bound, and "
         "payload-verified runs sustain positive bytes/sec"},
        eval_tarena},
+      {{"T-SERVE", "Online serving layer", "serve", "repo trajectory",
+        "MPSC-queued shard workers serve concurrent clients: "
+        "deterministic mode is bit-identical to the batch engine, and "
+        "the closed-loop load generator reports ordered p50/p99/p999 "
+        "with positive saturation throughput"},
+       eval_tserve},
   };
   return kRules;
 }

@@ -1,0 +1,77 @@
+// The multi-producer single-consumer request queue feeding one shard
+// worker.
+//
+// Producers are the serving engine's client threads (any number of them,
+// serialized only at the routing step); the consumer is the shard's one
+// worker thread.  The worker drains the entire backlog in one pop_all
+// call, so under load the mutex is taken once per *batch* of requests on
+// the consumer side — the same batching idea as Blelloch & Wei's
+// fixed-size fast path, realized with a lock here because the serving
+// layer's correctness gates (TSan, deterministic replay) want the
+// simplest possible happens-before story.  Closing the queue wakes the
+// consumer; a closed queue still hands out its backlog before pop_all
+// returns false, so no accepted request is ever dropped.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace memreal {
+
+template <typename T>
+class MpscQueue {
+ public:
+  /// Enqueues one item; returns false (dropping the item) iff the queue
+  /// has been closed.
+  bool push(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocks until the queue is non-empty or closed, then moves the whole
+  /// backlog into `out` (cleared first).  Returns false only when the
+  /// queue is closed AND empty — the consumer's termination signal.
+  bool pop_all(std::vector<T>& out) {
+    out.clear();
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return false;
+    out.swap(items_);
+    return true;
+  }
+
+  /// Closes the queue: future pushes fail, the consumer drains the
+  /// backlog and then sees false from pop_all.  Idempotent.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace memreal

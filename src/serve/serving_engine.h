@@ -1,0 +1,145 @@
+// The online concurrent serving layer.
+//
+// ShardedEngine (src/shard) scales the paper's single-cell allocators out
+// to S cells, but its run() is *batch-parallel*: route a whole batch
+// sequentially, apply per-shard sub-sequences under a barrier, repeat.
+// ServingEngine turns the same cells into an online service:
+//
+//   * One worker thread per shard, fed by an MPSC request queue
+//     (src/serve/mpsc_queue.h).  Client threads call submit(update) and
+//     get a std::future<double> resolving to the update's cost L/k (or
+//     to the InvariantViolation the cell raised).
+//   * Routing reuses ShardedEngine::route_update — the exact admission
+//     logic of the batch path (router proposal, least-loaded fallback,
+//     live-mass tracking) — under one routing mutex.  Requests are
+//     enqueued to their shard inside that critical section, so each
+//     shard's queue order equals the global route order; a delete can
+//     never overtake the insert it depends on.
+//   * Read-side queries (item_at, neighbors_of, payload bytes under
+//     arena cells) take a per-shard shared lock that the worker holds
+//     exclusively while applying an update, so every query observes a
+//     layout *between* updates — snapshot-consistent, never a transient
+//     mid-update state.
+//
+// Determinism: per-shard application order equals route order (FIFO
+// queues), and route order is the submission order (routing mutex).  So
+// when updates are submitted in sequence order — which the deterministic
+// verification mode serve_deterministic() enforces across any number of
+// client lanes via a seed-derived ticket schedule — every cell sees
+// exactly the sub-sequence the batch ShardedEngine would feed it, and
+// costs and final layouts are bit-identical to run() on the same config.
+// Thread-count invariance thus survives the transition to online
+// serving: S worker threads + L client lanes produce the same costs as
+// the single-threaded batch replay.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/mpsc_queue.h"
+#include "shard/sharded_engine.h"
+
+namespace memreal {
+
+class ServingEngine {
+ public:
+  /// Spawns one worker per shard.  `config.threads`, `batch_size` and
+  /// `rebalance_threshold` are batch-path knobs and ignored here.
+  explicit ServingEngine(const ShardedConfig& config);
+  ~ServingEngine();  ///< stop()s if the caller has not.
+
+  ServingEngine(const ServingEngine&) = delete;
+  ServingEngine& operator=(const ServingEngine&) = delete;
+
+  /// Routes the update and enqueues it on its shard; the future resolves
+  /// to the update's cost L/k once the shard worker applied it, or
+  /// rethrows the cell's InvariantViolation on get().  Thread-safe.
+  /// Throws immediately (nothing enqueued) for updates the router must
+  /// reject: duplicate insert, delete of an absent item, an insert that
+  /// fits no shard, or a submit after stop().
+  std::future<double> submit(const Update& update);
+
+  /// Blocks until every accepted request has been applied.
+  void drain();
+
+  /// Drain, close the queues and join the workers.  Idempotent; the
+  /// engine accepts no submissions afterwards.
+  void stop();
+
+  // -- Read-side queries (snapshot-consistent, thread-safe) -----------------
+
+  /// The item covering `offset` in `shard`'s address space, if any.
+  [[nodiscard]] std::optional<PlacedItem> item_at(std::size_t shard,
+                                                  Tick offset);
+  /// Offset-order neighbors of a live item; nullopt when the item is
+  /// absent or its insert has not been applied yet.
+  [[nodiscard]] std::optional<LayoutStore::Neighbors> neighbors_of(ItemId id);
+  /// Copy of the item's payload bytes (arena cells only); empty when the
+  /// engine is not arena-backed or the item is not (yet) live.
+  [[nodiscard]] std::vector<unsigned char> payload_of(ItemId id);
+  /// Whether the item is live AND applied on its shard.
+  [[nodiscard]] bool contains(ItemId id);
+
+  // -- Post-drain accounting -------------------------------------------------
+
+  /// Drains, then returns the merged statistics (same shape as the batch
+  /// path's).  wall_seconds covers first submit to this drain.
+  ShardedRunStats stats();
+  /// Drains, then fully audits every cell.
+  void audit();
+
+  [[nodiscard]] std::size_t shard_count() const {
+    return base_.shard_count();
+  }
+  /// The wrapped engine, for post-stop() layout inspection.  Touching it
+  /// while workers run races with them — drain() or stop() first.
+  [[nodiscard]] ShardedEngine& sharded() { return base_; }
+
+ private:
+  struct Request {
+    Update update;
+    std::promise<double> done;
+  };
+
+  void worker_loop(std::size_t shard);
+  void finish_request();
+
+  ShardedEngine base_;
+  std::vector<std::unique_ptr<MpscQueue<Request>>> queues_;
+  /// Writer = the shard's worker applying an update; readers = queries.
+  std::vector<std::unique_ptr<std::shared_mutex>> shard_mu_;
+  std::vector<std::thread> workers_;
+
+  /// Serializes route_update + enqueue (and guards placement reads).
+  std::mutex route_mu_;
+  bool stopped_ = false;
+  bool started_ = false;
+  std::chrono::steady_clock::time_point first_submit_;
+  double wall_seconds_ = 0.0;  ///< guarded by route_mu_
+
+  std::mutex drain_mu_;
+  std::condition_variable drain_cv_;
+  std::size_t in_flight_ = 0;  ///< guarded by drain_mu_
+};
+
+/// Deterministic verification harness: submits the whole sequence through
+/// `lanes` client threads whose interleaving is fixed by a seed-derived
+/// ticket schedule enforcing global submission order == sequence order.
+/// Returns the per-update costs in sequence order.  The resulting costs
+/// and final layouts are bit-identical to ShardedEngine::run(seq) on an
+/// identically configured engine (test_serve locks this in for every
+/// registry allocator on both engine flavors).
+std::vector<double> serve_deterministic(ServingEngine& engine,
+                                        const Sequence& seq,
+                                        std::size_t lanes,
+                                        std::uint64_t seed);
+
+}  // namespace memreal

@@ -108,38 +108,48 @@ std::size_t ShardedEngine::shard_of(ItemId id) const {
   return *s;
 }
 
+std::optional<std::size_t> ShardedEngine::find_shard(ItemId id) const {
+  const std::size_t* s = placement_.find(id);
+  if (s == nullptr) return std::nullopt;
+  return *s;
+}
+
+std::size_t ShardedEngine::route_update(const Update& u) {
+  std::size_t s;
+  if (u.is_insert()) {
+    MEMREAL_CHECK_MSG(!placement_.contains(u.id),
+                      "insert of already-live item " << u.id);
+    s = router_->route(u.id, u.size);
+    MEMREAL_CHECK_MSG(
+        s < cells_.size(), "router '" << router_->name()
+                                      << "' proposed shard " << s << " of "
+                                      << cells_.size());
+    if (live_mass_[s] + u.size > shard_budget_) {
+      const std::size_t fallback = least_loaded();
+      MEMREAL_CHECK_MSG(
+          live_mass_[fallback] + u.size <= shard_budget_,
+          "item " << u.id << " of size " << u.size
+                  << " fits no shard (least-loaded live mass "
+                  << live_mass_[fallback] << ", shard budget "
+                  << shard_budget_ << ")");
+      s = fallback;
+      ++fallback_routes_;
+    }
+    placement_[u.id] = s;
+    live_mass_[s] += u.size;
+  } else {
+    const std::size_t* at = placement_.find(u.id);
+    MEMREAL_CHECK_MSG(at != nullptr, "delete of absent item " << u.id);
+    s = *at;
+    placement_.erase(u.id);
+    live_mass_[s] -= u.size;
+  }
+  return s;
+}
+
 void ShardedEngine::route_batch(std::span<const Update> batch) {
   for (const Update& u : batch) {
-    std::size_t s;
-    if (u.is_insert()) {
-      MEMREAL_CHECK_MSG(!placement_.contains(u.id),
-                        "insert of already-live item " << u.id);
-      s = router_->route(u.id, u.size);
-      MEMREAL_CHECK_MSG(
-          s < cells_.size(), "router '" << router_->name()
-                                        << "' proposed shard " << s << " of "
-                                        << cells_.size());
-      if (live_mass_[s] + u.size > shard_budget_) {
-        const std::size_t fallback = least_loaded();
-        MEMREAL_CHECK_MSG(
-            live_mass_[fallback] + u.size <= shard_budget_,
-            "item " << u.id << " of size " << u.size
-                    << " fits no shard (least-loaded live mass "
-                    << live_mass_[fallback] << ", shard budget "
-                    << shard_budget_ << ")");
-        s = fallback;
-        ++fallback_routes_;
-      }
-      placement_[u.id] = s;
-      live_mass_[s] += u.size;
-    } else {
-      const std::size_t* at = placement_.find(u.id);
-      MEMREAL_CHECK_MSG(at != nullptr, "delete of absent item " << u.id);
-      s = *at;
-      placement_.erase(u.id);
-      live_mass_[s] -= u.size;
-    }
-    pending_[s].push_back(u);
+    pending_[route_update(u)].push_back(u);
   }
 }
 

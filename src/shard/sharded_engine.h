@@ -40,6 +40,7 @@
 
 #include <cstddef>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -136,12 +137,25 @@ class ShardedEngine {
   /// Full audit of every cell: memory audit + allocator self-check.
   void audit() const;
 
+  /// Routes one update exactly as the batch path would — placement map,
+  /// live-mass tracking, least-loaded fallback — and returns its shard
+  /// WITHOUT enqueuing or applying it.  The online serving layer
+  /// (src/serve) shares the batch path's admission logic through this
+  /// hook, which is what makes its deterministic mode bit-identical to
+  /// run().  Not thread-safe; the caller serializes.
+  std::size_t route_update(const Update& update);
+
+  /// Direct cell access for the serving layer's per-shard workers.
+  [[nodiscard]] Cell& cell(std::size_t shard) { return *cells_.at(shard); }
+
   [[nodiscard]] std::size_t shard_count() const { return cells_.size(); }
   [[nodiscard]] std::size_t thread_count() const {
     return pool_.thread_count();
   }
   /// Which shard a live item is placed on; throws for absent ids.
   [[nodiscard]] std::size_t shard_of(ItemId id) const;
+  /// Non-throwing variant: nullopt when the item is not live.
+  [[nodiscard]] std::optional<std::size_t> find_shard(ItemId id) const;
   [[nodiscard]] LayoutStore& memory(std::size_t shard) {
     return cells_.at(shard)->memory();
   }

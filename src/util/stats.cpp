@@ -44,6 +44,12 @@ void StreamingStats::merge(const StreamingStats& other) {
   max_ = std::max(max_, other.max_);
 }
 
+void Quantiles::merge(const Quantiles& other) {
+  if (other.xs_.empty()) return;
+  xs_.insert(xs_.end(), other.xs_.begin(), other.xs_.end());
+  sorted_ = false;
+}
+
 double Quantiles::quantile(double q) {
   MEMREAL_CHECK(q >= 0.0 && q <= 1.0);
   if (xs_.empty()) return 0.0;

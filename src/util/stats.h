@@ -36,8 +36,17 @@ class StreamingStats {
 /// sketch error in the reproduced tables.
 class Quantiles {
  public:
-  void add(double x) { xs_.push_back(x); }
+  /// Invalidates the lazy sort cache: a sample appended after a
+  /// quantile() call lands unsorted, so the next query must re-sort.
+  void add(double x) {
+    xs_.push_back(x);
+    sorted_ = false;
+  }
   void reserve(std::size_t n) { xs_.reserve(n); }
+
+  /// Appends all of `other`'s samples (parallel reduction: per-worker
+  /// latency recorders merge into one before querying).
+  void merge(const Quantiles& other);
 
   [[nodiscard]] std::size_t count() const { return xs_.size(); }
   /// q in [0, 1]; q = 0.5 is the median, q = 1 the max.  Returns 0 when

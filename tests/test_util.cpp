@@ -140,6 +140,33 @@ TEST(StreamingStats, MergeEmpty) {
   EXPECT_DOUBLE_EQ(b.mean(), 1.0);
 }
 
+TEST(StreamingStats, MergeOverRandomPartitionsMatchesSingleStream) {
+  // Property: splitting one stream into any number of sub-accumulators
+  // and merging them back reproduces the single-stream moments exactly
+  // (count/min/max/sum) or to rounding (mean/variance).  This is the
+  // reduction the serving layer's merged ShardedRunStats relies on.
+  Rng r(42);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t parts = 1 + r.next_below(7);
+    const std::size_t n = 1 + r.next_below(500);
+    std::vector<StreamingStats> partial(parts);
+    StreamingStats whole;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double x = (r.next_double() - 0.5) * 1e3;
+      whole.add(x);
+      partial[r.next_below(parts)].add(x);
+    }
+    StreamingStats merged;
+    for (const StreamingStats& p : partial) merged.merge(p);
+    ASSERT_EQ(merged.count(), whole.count());
+    EXPECT_DOUBLE_EQ(merged.min(), whole.min());
+    EXPECT_DOUBLE_EQ(merged.max(), whole.max());
+    EXPECT_NEAR(merged.sum(), whole.sum(), 1e-9 * n);
+    EXPECT_NEAR(merged.mean(), whole.mean(), 1e-9);
+    EXPECT_NEAR(merged.variance(), whole.variance(), 1e-6);
+  }
+}
+
 TEST(Quantiles, MedianAndExtremes) {
   Quantiles q;
   for (int i = 1; i <= 101; ++i) q.add(i);
@@ -151,6 +178,63 @@ TEST(Quantiles, MedianAndExtremes) {
 TEST(Quantiles, EmptyReturnsZero) {
   Quantiles q;
   EXPECT_DOUBLE_EQ(q.quantile(0.5), 0.0);
+}
+
+TEST(Quantiles, InterleavedAddAndQueryStaysSorted) {
+  // Regression: add() used to leave the sorted_ cache set, so samples
+  // appended after a quantile() call were never re-sorted and every
+  // later quantile read from a partially sorted vector — exactly the
+  // add/query interleaving an online latency recorder produces.
+  Quantiles q;
+  q.add(50.0);
+  q.add(10.0);
+  EXPECT_DOUBLE_EQ(q.quantile(1.0), 50.0);  // sorts {10, 50}
+  q.add(5.0);  // appended below the sorted prefix
+  EXPECT_DOUBLE_EQ(q.quantile(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(q.quantile(1.0), 50.0);
+  q.add(100.0);
+  q.add(1.0);
+  EXPECT_DOUBLE_EQ(q.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(q.quantile(0.5), 10.0);
+  EXPECT_DOUBLE_EQ(q.quantile(1.0), 100.0);
+
+  // The same interleaving against a reference that sorts from scratch
+  // on every query, on a random stream.
+  Rng r(7);
+  Quantiles online;
+  std::vector<double> all;
+  for (int i = 0; i < 500; ++i) {
+    const double x = r.next_double() * 1e4;
+    online.add(x);
+    all.push_back(x);
+    if (i % 37 == 0) (void)online.quantile(0.99);  // poison the cache
+  }
+  auto sorted = all;
+  std::sort(sorted.begin(), sorted.end());
+  for (const double p : {0.0, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    Quantiles fresh;
+    for (const double x : all) fresh.add(x);
+    EXPECT_DOUBLE_EQ(online.quantile(p), fresh.quantile(p)) << p;
+  }
+  EXPECT_DOUBLE_EQ(online.quantile(0.0), sorted.front());
+  EXPECT_DOUBLE_EQ(online.quantile(1.0), sorted.back());
+}
+
+TEST(Quantiles, MergeConcatenatesAndInvalidates) {
+  Quantiles a;
+  Quantiles b;
+  a.add(1.0);
+  a.add(3.0);
+  EXPECT_DOUBLE_EQ(a.quantile(1.0), 3.0);  // sort a's cache
+  b.add(0.5);
+  b.add(9.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_DOUBLE_EQ(a.quantile(0.0), 0.5);
+  EXPECT_DOUBLE_EQ(a.quantile(1.0), 9.0);
+  const Quantiles empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 4u);
 }
 
 TEST(Histogram, BucketsAndClamping) {

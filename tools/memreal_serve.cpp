@@ -1,0 +1,645 @@
+// memreal_serve — closed-loop load generator for the online serving
+// layer (src/serve).  Sweeps client-thread counts x target request rates
+// against a ServingEngine, records per-request latency into exact
+// Quantiles, and writes the schema-2 BENCH_serve.json artifact that
+// memreal_report turns into the T-SERVE claim.  Also runs (by default)
+// the deterministic differential: serve_deterministic() must reproduce
+// the batch ShardedEngine bit-for-bit for every registry allocator on
+// both engine flavors.
+//
+// Run with --help for usage.  Exit status 0 = clean, 1 = invariant
+// violation or verify mismatch, 2 = usage error.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "alloc/registry.h"
+#include "serve/serving_engine.h"
+#include "util/check.h"
+#include "util/json.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "workload/churn.h"
+
+namespace {
+
+using namespace memreal;
+
+constexpr const char* kUsage = R"(memreal_serve [options]
+  --allocator NAME   registry allocator for every cell (default simple)
+  --engine E         cell engine: validated (default), release or arena
+                     (arena = byte-backed cells, alias for --arena,
+                     matching memreal_shard / memreal_fuzz)
+  --arena            back every shard's cell with a real byte arena;
+                     lowers the default per-shard capacity to 2^22 ticks
+                     (override with --capacity-log2)
+  --bytes-per-tick N byte-space granule for --arena (default 8)
+  --shards N         cell count = worker threads (default 4)
+  --clients LIST     comma-separated client-thread counts to sweep
+                     (default 1,2,4)
+  --qps LIST         comma-separated target request rates; 0 = closed-loop
+                     saturation, no pacing (default 0)
+  --updates N        total requests per sweep point (default 20000)
+  --eps X            free-space parameter (default 0.015625)
+  --seed N           workload + allocator seed (default 1)
+  --capacity-log2 N  per-shard capacity 2^N ticks (default 40; 22 under
+                     --arena)
+  --skip-verify      skip the deterministic differential (every registry
+                     allocator x both engines vs the batch ShardedEngine)
+  --verify-only      run only the differential, no latency sweep
+  --json FILE        artifact path (default BENCH_serve.json, in
+                     MEMREAL_BENCH_DIR if set; empty string disables)
+  --quiet            suppress the tables (summary lines + JSON only)
+
+Latency is measured per request from submit() to the future resolving
+(queueing + apply), reported as exact p50/p99/p999 from merged per-client
+Quantiles.  MEMREAL_FAST=1 shrinks the sweep for smoke runs.
+)";
+
+struct Options {
+  std::string allocator = "simple";
+  std::string engine = "validated";
+  bool arena = false;
+  Tick bytes_per_tick = 8;
+  std::size_t shards = 4;
+  std::vector<std::size_t> clients = {1, 2, 4};
+  std::vector<double> qps = {0.0};
+  std::size_t updates = 20'000;
+  double eps = 1.0 / 64;
+  std::uint64_t seed = 1;
+  unsigned capacity_log2 = 40;
+  bool capacity_log2_set = false;
+  bool verify = true;
+  bool verify_only = false;
+  std::string json_path = "BENCH_serve.json";
+  bool json_path_set = false;
+  bool quiet = false;
+};
+
+bool fast_mode() {
+  const char* v = std::getenv("MEMREAL_FAST");
+  return v != nullptr && v[0] == '1';
+}
+
+std::string git_describe() {
+  const char* v = std::getenv("MEMREAL_GIT_DESCRIBE");
+  if (v != nullptr && v[0] != '\0') return v;
+#ifdef MEMREAL_GIT_DESCRIBE
+  return MEMREAL_GIT_DESCRIBE;
+#else
+  return "unknown";
+#endif
+}
+
+[[noreturn]] void usage_error(const std::string& what) {
+  std::fprintf(stderr, "memreal_serve: %s (run with --help for usage)\n",
+               what.c_str());
+  std::exit(2);
+}
+
+std::uint64_t parse_u64(const std::string& flag, const char* value) {
+  if (value[0] == '-' || value[0] == '+') {
+    usage_error("bad value '" + std::string(value) + "' for " + flag);
+  }
+  char* end = nullptr;
+  const std::uint64_t v = std::strtoull(value, &end, 10);
+  if (end == value || *end != '\0') {
+    usage_error("bad value '" + std::string(value) + "' for " + flag);
+  }
+  return v;
+}
+
+double parse_double(const std::string& flag, const char* value) {
+  char* end = nullptr;
+  const double v = std::strtod(value, &end);
+  if (end == value || *end != '\0') {
+    usage_error("bad value '" + std::string(value) + "' for " + flag);
+  }
+  return v;
+}
+
+std::vector<std::string> split_list(const std::string& flag,
+                                    const char* value) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char* p = value;; ++p) {
+    if (*p == ',' || *p == '\0') {
+      if (cur.empty()) usage_error("empty element in " + flag + " list");
+      out.push_back(cur);
+      cur.clear();
+      if (*p == '\0') break;
+    } else {
+      cur.push_back(*p);
+    }
+  }
+  return out;
+}
+
+Options parse_args(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage_error("missing value for " + flag);
+      return argv[++i];
+    };
+    if (flag == "--help" || flag == "-h") {
+      std::fputs(kUsage, stdout);
+      std::exit(0);
+    } else if (flag == "--allocator") {
+      o.allocator = next();
+    } else if (flag == "--engine") {
+      o.engine = next();
+      if (o.engine == "arena") {
+        o.engine = "validated";
+        o.arena = true;
+      } else if (o.engine != "validated" && o.engine != "release") {
+        usage_error("--engine must be 'validated', 'release', or 'arena'");
+      }
+    } else if (flag == "--arena") {
+      o.arena = true;
+    } else if (flag == "--bytes-per-tick") {
+      o.bytes_per_tick = parse_u64(flag, next());
+      if (o.bytes_per_tick == 0) usage_error("--bytes-per-tick must be >= 1");
+    } else if (flag == "--shards") {
+      o.shards = static_cast<std::size_t>(parse_u64(flag, next()));
+    } else if (flag == "--clients") {
+      o.clients.clear();
+      for (const std::string& e : split_list(flag, next())) {
+        o.clients.push_back(
+            static_cast<std::size_t>(parse_u64(flag, e.c_str())));
+      }
+    } else if (flag == "--qps") {
+      o.qps.clear();
+      for (const std::string& e : split_list(flag, next())) {
+        o.qps.push_back(parse_double(flag, e.c_str()));
+      }
+    } else if (flag == "--updates") {
+      o.updates = static_cast<std::size_t>(parse_u64(flag, next()));
+    } else if (flag == "--eps") {
+      o.eps = parse_double(flag, next());
+    } else if (flag == "--seed") {
+      o.seed = parse_u64(flag, next());
+    } else if (flag == "--capacity-log2") {
+      const std::uint64_t v = parse_u64(flag, next());
+      if (v < 10 || v > 50) usage_error("--capacity-log2 must be in [10, 50]");
+      o.capacity_log2 = static_cast<unsigned>(v);
+      o.capacity_log2_set = true;
+    } else if (flag == "--skip-verify") {
+      o.verify = false;
+    } else if (flag == "--verify-only") {
+      o.verify_only = true;
+    } else if (flag == "--json") {
+      o.json_path = next();
+      o.json_path_set = true;
+    } else if (flag == "--quiet") {
+      o.quiet = true;
+    } else {
+      usage_error("unknown flag '" + flag + "'");
+    }
+  }
+  if (o.shards == 0) usage_error("--shards must be >= 1");
+  if (o.clients.empty()) usage_error("--clients list is empty");
+  for (const std::size_t c : o.clients) {
+    if (c == 0) usage_error("--clients entries must be >= 1");
+  }
+  for (const double q : o.qps) {
+    if (q < 0) usage_error("--qps entries must be >= 0 (0 = saturation)");
+  }
+  if (o.arena && !o.capacity_log2_set) o.capacity_log2 = 22;
+  if (o.shards > (std::numeric_limits<Tick>::max() >> o.capacity_log2)) {
+    usage_error("--shards x 2^capacity-log2 overflows the tick space");
+  }
+  if (o.eps <= 0.0 || o.eps >= 1.0) usage_error("--eps must be in (0, 1)");
+  if (o.verify_only && !o.verify) {
+    usage_error("--verify-only and --skip-verify are mutually exclusive");
+  }
+  return o;
+}
+
+ShardedConfig base_config(const Options& o, const std::string& allocator,
+                          const std::string& engine, Tick shard_capacity) {
+  ShardedConfig c;
+  c.engine = engine;
+  c.allocator = allocator;
+  c.arena = o.arena;
+  c.bytes_per_tick = o.bytes_per_tick;
+  c.params.eps = o.eps;
+  c.params.seed = o.seed;
+  c.shards = o.shards;
+  c.shard_capacity = shard_capacity;
+  c.eps = o.eps;
+  return c;
+}
+
+/// Load level that fills with at most ~`max_items` items of the band's
+/// mean size: tiny-item families (tinyslab, flexhash, rsum bands) would
+/// otherwise need millions of fill inserts to hit a mass-fraction target.
+double bounded_load(double want, Tick min_size, Tick max_size, Tick capacity,
+                    std::size_t max_items) {
+  const double mean = (static_cast<double>(min_size) +
+                       static_cast<double>(max_size)) / 2.0;
+  const double cap = static_cast<double>(max_items) * mean /
+                     static_cast<double>(capacity);
+  return std::min(want, cap);
+}
+
+/// One client's request stream: sizes from the allocator's registered
+/// band over the *shard* capacity, live-mass budget a 1/clients slice of
+/// the global capacity, ids remapped into a per-client residue class so
+/// concurrent clients never race an insert against its own delete.
+Sequence client_workload(const Options& o, Tick shard_capacity,
+                         std::size_t clients, std::size_t client,
+                         std::size_t point) {
+  const AllocatorInfo info = allocator_info(o.allocator);
+  const Tick min_size = info.sizes.min_size(o.eps, shard_capacity);
+  const Tick max_size = info.sizes.max_size(o.eps, shard_capacity) - 1;
+  const Tick capacity = shard_capacity * o.shards / clients;
+  const std::size_t updates = std::max<std::size_t>(50, o.updates / clients);
+  const double load = bounded_load(0.5, min_size, max_size, capacity,
+                                   std::max<std::size_t>(updates, 1'000));
+  SplitMix64 mix(o.seed + 7919 * point + client);
+  Sequence s;
+  if (info.sizes.fixed_palette) {
+    DiscreteChurnConfig c;
+    c.capacity = capacity;
+    c.eps = o.eps;
+    c.min_size = min_size;
+    c.max_size = max_size;
+    c.target_load = load;
+    c.churn_updates = updates;
+    c.seed = mix.next();
+    s = make_discrete_churn(c);
+  } else {
+    ChurnConfig c;
+    c.capacity = capacity;
+    c.eps = o.eps;
+    c.min_size = min_size;
+    c.max_size = max_size;
+    c.target_load = load;
+    c.churn_updates = updates;
+    c.seed = mix.next();
+    s = make_churn(c);
+  }
+  for (Update& u : s.updates) u.id = u.id * clients + client;
+  return s;
+}
+
+struct PointResult {
+  std::size_t clients = 0;
+  double target_qps = 0;
+  std::size_t updates = 0;
+  double wall_seconds = 0;
+  double achieved_qps = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+  double p999_us = 0;
+  double max_us = 0;
+  double mean_us = 0;
+};
+
+/// One closed-loop sweep point: `clients` threads drive a fresh engine,
+/// each waiting on every future (optionally paced to target_qps total).
+PointResult run_point(const Options& o, Tick shard_capacity,
+                      std::size_t clients, double target_qps,
+                      std::size_t point_index) {
+  ServingEngine engine(
+      base_config(o, o.allocator, o.engine, shard_capacity));
+
+  std::vector<Sequence> streams;
+  streams.reserve(clients);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < clients; ++c) {
+    streams.push_back(
+        client_workload(o, shard_capacity, clients, c, point_index));
+    total += streams.back().size();
+  }
+
+  std::vector<Quantiles> lat(clients);
+  std::vector<StreamingStats> agg(clients);
+  std::mutex error_mu;
+  std::exception_ptr first_error;
+
+  using clock = std::chrono::steady_clock;
+  const auto start = clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      // Pacing: the target rate is split evenly across clients.
+      const double interval_s =
+          target_qps > 0 ? static_cast<double>(clients) / target_qps : 0.0;
+      auto next_tick = clock::now();
+      lat[c].reserve(streams[c].size());
+      try {
+        for (const Update& u : streams[c].updates) {
+          if (interval_s > 0) {
+            next_tick += std::chrono::duration_cast<clock::duration>(
+                std::chrono::duration<double>(interval_s));
+            std::this_thread::sleep_until(next_tick);
+          }
+          const auto t0 = clock::now();
+          const double cost = engine.submit(u).get();
+          const auto t1 = clock::now();
+          (void)cost;
+          const double us =
+              std::chrono::duration<double, std::micro>(t1 - t0).count();
+          lat[c].add(us);
+          agg[c].add(us);
+        }
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  engine.drain();
+  const auto end = clock::now();
+  if (first_error) std::rethrow_exception(first_error);
+  engine.audit();
+  engine.stop();
+
+  Quantiles merged;
+  StreamingStats stats;
+  for (std::size_t c = 0; c < clients; ++c) {
+    merged.merge(lat[c]);
+    stats.merge(agg[c]);
+  }
+
+  PointResult r;
+  r.clients = clients;
+  r.target_qps = target_qps;
+  r.updates = total;
+  r.wall_seconds = std::chrono::duration<double>(end - start).count();
+  r.achieved_qps =
+      r.wall_seconds > 0 ? static_cast<double>(total) / r.wall_seconds : 0;
+  r.p50_us = merged.quantile(0.5);
+  r.p99_us = merged.quantile(0.99);
+  r.p999_us = merged.quantile(0.999);
+  r.max_us = merged.quantile(1.0);
+  r.mean_us = stats.mean();
+  return r;
+}
+
+struct VerifyResult {
+  std::string allocator;
+  std::string engine;
+  std::size_t updates = 0;
+  bool costs_equal = false;
+  bool layouts_equal = false;
+};
+
+bool same_layout(LayoutStore& a, LayoutStore& b) {
+  const auto la = a.snapshot();
+  const auto lb = b.snapshot();
+  if (la.size() != lb.size()) return false;
+  for (std::size_t i = 0; i < la.size(); ++i) {
+    if (la[i].id != lb[i].id || la[i].offset != lb[i].offset ||
+        la[i].size != lb[i].size || la[i].extent != lb[i].extent) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool same_stats(const ShardedRunStats& a, const ShardedRunStats& b) {
+  if (a.global.updates != b.global.updates ||
+      a.global.moved_mass != b.global.moved_mass ||
+      a.global.update_mass != b.global.update_mass ||
+      a.fallback_routes != b.fallback_routes ||
+      a.per_shard.size() != b.per_shard.size()) {
+    return false;
+  }
+  for (std::size_t s = 0; s < a.per_shard.size(); ++s) {
+    const RunStats& x = a.per_shard[s];
+    const RunStats& y = b.per_shard[s];
+    // The per-shard update order is identical, so every derived double
+    // must compare bitwise equal.
+    if (x.updates != y.updates || x.moved_mass != y.moved_mass ||
+        x.update_mass != y.update_mass ||
+        x.cost.count() != y.cost.count() ||
+        x.cost.mean() != y.cost.mean() ||
+        x.cost.variance() != y.cost.variance() ||
+        x.cost.min() != y.cost.min() || x.cost.max() != y.cost.max() ||
+        x.cost.sum() != y.cost.sum()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// The deterministic differential for one (allocator, engine) pair: the
+/// served sequence must leave costs and layouts bit-identical to the
+/// batch ShardedEngine.
+VerifyResult verify_pair(const Options& o, const std::string& allocator,
+                         const std::string& engine, std::size_t updates) {
+  // Tick-space verify runs on wide cells so every allocator's size
+  // classes resolve, independent of the latency sweep's geometry.
+  const Tick shard_capacity = o.arena ? Tick{1} << o.capacity_log2
+                                      : Tick{1} << 40;
+  const AllocatorInfo info = allocator_info(allocator);
+  const Tick min_size = info.sizes.min_size(o.eps, shard_capacity);
+  const Tick max_size = info.sizes.max_size(o.eps, shard_capacity) - 1;
+  const Tick capacity = shard_capacity * o.shards;
+  const double load =
+      bounded_load(0.7, min_size, max_size, capacity, 1'000);
+  Sequence seq;
+  if (info.sizes.fixed_palette) {
+    DiscreteChurnConfig c;
+    c.capacity = capacity;
+    c.eps = o.eps;
+    c.min_size = min_size;
+    c.max_size = max_size;
+    c.target_load = load;
+    c.churn_updates = updates;
+    c.seed = o.seed;
+    seq = make_discrete_churn(c);
+  } else {
+    ChurnConfig c;
+    c.capacity = capacity;
+    c.eps = o.eps;
+    c.min_size = min_size;
+    c.max_size = max_size;
+    c.target_load = load;
+    c.churn_updates = updates;
+    c.seed = o.seed;
+    seq = make_churn(c);
+  }
+
+  const ShardedConfig config = base_config(o, allocator, engine,
+                                           shard_capacity);
+  ShardedEngine batch(config);
+  const ShardedRunStats want = batch.run(seq);
+  batch.audit();
+
+  ServingEngine serve(config);
+  (void)serve_deterministic(serve, seq, /*lanes=*/3, o.seed + 1);
+  const ShardedRunStats got = serve.stats();
+  serve.audit();
+
+  VerifyResult r;
+  r.allocator = allocator;
+  r.engine = engine;
+  r.updates = seq.size();
+  r.costs_equal = same_stats(got, want);
+  r.layouts_equal = true;
+  for (std::size_t s = 0; s < batch.shard_count(); ++s) {
+    r.layouts_equal &=
+        same_layout(batch.memory(s), serve.sharded().memory(s));
+  }
+  serve.stop();
+  return r;
+}
+
+int run(const Options& o) {
+  const bool fast = fast_mode();
+  const Tick shard_capacity = Tick{1} << o.capacity_log2;
+  const std::size_t sweep_updates =
+      fast ? std::min<std::size_t>(o.updates, 2'000) : o.updates;
+  const std::size_t verify_updates = fast ? 200 : 600;
+
+  Json records = Json::array();
+  bool verify_ok = true;
+
+  if (o.verify) {
+    Table vt({"allocator", "engine", "updates", "costs", "layouts"});
+    Json rows = Json::array();
+    for (const std::string& allocator : allocator_names()) {
+      for (const std::string& engine : engine_names()) {
+        const VerifyResult r =
+            verify_pair(o, allocator, engine, verify_updates);
+        verify_ok &= r.costs_equal && r.layouts_equal;
+        vt.add_row({r.allocator, r.engine, std::to_string(r.updates),
+                    r.costs_equal ? "identical" : "MISMATCH",
+                    r.layouts_equal ? "identical" : "MISMATCH"});
+        Json row = Json::object();
+        row.set("allocator", r.allocator)
+            .set("engine", r.engine)
+            .set("shards", static_cast<std::uint64_t>(o.shards))
+            .set("updates", static_cast<std::uint64_t>(r.updates))
+            .set("costs_equal", std::uint64_t{r.costs_equal ? 1u : 0u})
+            .set("layouts_equal",
+                 std::uint64_t{r.layouts_equal ? 1u : 0u});
+        rows.push(std::move(row));
+      }
+    }
+    if (!o.quiet) {
+      std::cout << "\ndeterministic differential vs batch ShardedEngine ("
+                << o.shards << " shards, 3 lanes):\n";
+      vt.print(std::cout);
+    }
+    std::cout << "deterministic verify: "
+              << (verify_ok ? "every pair bit-identical"
+                            : "MISMATCH (see table)")
+              << "\n";
+    Json rec = Json::object();
+    rec.set("kind", "serve_verify")
+        .set("claim", "T-SERVE")
+        .set("series", "deterministic-verify")
+        .set("lanes", std::uint64_t{3})
+        .set("rows", std::move(rows));
+    records.push(std::move(rec));
+  }
+
+  if (!o.verify_only) {
+    Table lt({"clients", "target_qps", "achieved_qps", "p50_us", "p99_us",
+              "p999_us", "max_us", "mean_us"});
+    Json rows = Json::array();
+    std::size_t point = 0;
+    for (const std::size_t clients : o.clients) {
+      for (const double qps : o.qps) {
+        Options po = o;
+        po.updates = sweep_updates;
+        const PointResult r =
+            run_point(po, shard_capacity, clients, qps, point++);
+        lt.add_row({std::to_string(r.clients),
+                    qps > 0 ? Table::num(qps, 6) : std::string("sat"),
+                    Table::num(r.achieved_qps, 6), Table::num(r.p50_us, 4),
+                    Table::num(r.p99_us, 4), Table::num(r.p999_us, 4),
+                    Table::num(r.max_us, 4), Table::num(r.mean_us, 4)});
+        Json row = Json::object();
+        row.set("shards", static_cast<std::uint64_t>(o.shards))
+            .set("clients", static_cast<std::uint64_t>(r.clients))
+            .set("target_qps", r.target_qps)
+            .set("achieved_qps", r.achieved_qps)
+            .set("updates", static_cast<std::uint64_t>(r.updates))
+            .set("wall_seconds", r.wall_seconds)
+            .set("p50_us", r.p50_us)
+            .set("p99_us", r.p99_us)
+            .set("p999_us", r.p999_us)
+            .set("max_us", r.max_us)
+            .set("mean_us", r.mean_us);
+        rows.push(std::move(row));
+      }
+    }
+    if (!o.quiet) {
+      std::cout << "\nlatency sweep (" << o.allocator << ", "
+                << (o.arena ? "arena" : o.engine) << ", " << o.shards
+                << " shards, " << sweep_updates
+                << " requests per point):\n";
+      lt.print(std::cout);
+    }
+    Json rec = Json::object();
+    rec.set("kind", "serve_latency")
+        .set("claim", "T-SERVE")
+        .set("series", "latency-sweep")
+        .set("allocator", o.allocator)
+        .set("engine", o.arena ? "arena" : o.engine)
+        .set("workload", "churn")
+        .set("rows", std::move(rows));
+    records.push(std::move(rec));
+  }
+
+  if (!o.json_path.empty()) {
+    std::string path = o.json_path;
+    if (!o.json_path_set) {
+      const char* dir = std::getenv("MEMREAL_BENCH_DIR");
+      if (dir != nullptr && dir[0] != '\0') {
+        path = std::string(dir) + "/" + path;
+      }
+    }
+    Json doc = Json::object();
+    doc.set("bench", "serve")
+        .set("schema", std::uint64_t{2})
+        .set("git_describe", git_describe())
+        .set("fast_mode", fast);
+    Json seeds = Json::array();
+    seeds.push(o.seed);
+    doc.set("seeds", std::move(seeds));
+    doc.set("records", std::move(records));
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "memreal_serve: cannot write '%s'\n",
+                   path.c_str());
+      return 1;
+    }
+    out << doc.dump(2) << "\n";
+    std::cout << "wrote " << path << "\n";
+  }
+  return verify_ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options o = parse_args(argc, argv);
+  try {
+    return run(o);
+  } catch (const memreal::InvariantViolation& e) {
+    std::fprintf(stderr, "memreal_serve: invariant violation: %s\n",
+                 e.what());
+    return 1;
+  }
+}

@@ -24,9 +24,11 @@ using namespace memreal;
 
 constexpr const char* kUsage = R"(memreal_shard [options]
   --allocator NAME   registry allocator for every cell (default simple)
-  --engine E         cell engine: validated (default) or release — the
-                     unchecked slab fast path; its correctness story is
-                     ctest -L release plus memreal_fuzz --engine release
+  --engine E         cell engine: validated (default), release or arena.
+                     release is the unchecked slab fast path (its
+                     correctness story is ctest -L release plus
+                     memreal_fuzz --engine release); arena is an alias
+                     for --arena below (matching memreal_fuzz)
   --arena            back every shard's cell with a real byte arena:
                      payloads get physical addresses, moves execute real
                      memmoves, and the run reports measured byte traffic.
@@ -137,8 +139,13 @@ Options parse_args(int argc, char** argv) {
       o.allocator = next();
     } else if (flag == "--engine") {
       o.engine = next();
-      if (o.engine != "validated" && o.engine != "release") {
-        usage_error("--engine must be 'validated' or 'release'");
+      // "arena" is an alias for --arena (matching memreal_fuzz's engine
+      // spelling): byte-backed cells over the validated store.
+      if (o.engine == "arena") {
+        o.engine = "validated";
+        o.arena = true;
+      } else if (o.engine != "validated" && o.engine != "release") {
+        usage_error("--engine must be 'validated', 'release', or 'arena'");
       }
     } else if (flag == "--arena") {
       o.arena = true;
