@@ -26,6 +26,14 @@ std::unique_ptr<LayoutStore> make_inner(Tick capacity, Tick eps_ticks,
 ArenaOptions arena_options(const CellConfig& config) {
   ArenaOptions options;
   options.verify_payloads = config.verify_payloads;
+  if (config.metrics != nullptr) {
+    obs::MetricLabels labels;
+    labels.allocator = config.allocator;
+    labels.engine = config.engine + "+arena";
+    labels.shard = config.shard_index;
+    labels.workload = config.workload_label;
+    options.metrics = obs::ArenaMetrics::create(*config.metrics, labels);
+  }
   return options;
 }
 
@@ -43,6 +51,7 @@ ArenaCell::ArenaCell(Tick capacity, Tick eps_ticks, const CellConfig& config)
         options.before_update = [this](const Update& u) {
           if (u.is_insert()) store_.stage_insert(u.id, u.size_bytes);
         };
+        options.metrics = cell_metrics(config);
         return options;
       }()) {}
 

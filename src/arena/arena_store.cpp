@@ -3,6 +3,7 @@
 #include <bit>
 #include <cstring>
 
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace memreal {
@@ -82,6 +83,7 @@ std::vector<unsigned char>& ArenaStore::new_pending_slot(ItemId id) {
 }
 
 void ArenaStore::flush_pending() {
+  obs::ScopedSpan flush_span(obs::SpanPhase::kArenaFlush);
   for (std::size_t k = 0; k < pending_used_; ++k) {
     const ItemId id = pending_ids_[k];
     if (id == kNoItem) continue;  // removed mid-update
@@ -96,6 +98,7 @@ void ArenaStore::flush_pending() {
 
 void ArenaStore::verify_at(ItemId id, std::uint64_t byte_addr,
                            Tick bytes) const {
+  options_.metrics.on_verify(bytes);
   const unsigned char* p = arena_.data() + byte_addr;
   std::uint64_t j = 0;
   // The pattern repeats the little-endian bytes of mix(id), so aligned
@@ -177,6 +180,7 @@ void ArenaStore::place(ItemId id, Tick offset, Tick size, Tick extent) {
   bytes_in_update_ += bytes;
   total_bytes_ += bytes;
   ++moves_;
+  options_.metrics.on_move(bytes);
   if (!inner_->in_update()) flush_pending();
 }
 
@@ -191,6 +195,7 @@ void ArenaStore::move_to(ItemId id, Tick offset) {
   bytes_in_update_ += bytes;
   total_bytes_ += bytes;
   ++moves_;
+  options_.metrics.on_move(bytes);
   if (!inner_->in_update()) flush_pending();
 }
 
@@ -212,6 +217,7 @@ Tick ArenaStore::apply_run(std::span<const ItemId> ids, Tick offset) {
     bytes_in_update_ += bytes;
     total_bytes_ += bytes;
     ++moves_;
+    options_.metrics.on_move(bytes);
   }
   if (!inner_->in_update()) flush_pending();
   return end;

@@ -51,6 +51,7 @@
 
 #include "arena/byte_space.h"
 #include "core/layout_store.h"
+#include "obs/metrics.h"
 #include "util/flat_map.h"
 #include "util/types.h"
 
@@ -64,6 +65,9 @@ struct ArenaOptions {
   /// end beyond it throws InvariantViolation (use smaller capacities or a
   /// coarser granule instead of letting the vector eat the host).
   std::uint64_t max_arena_bytes = std::uint64_t{1} << 31;
+  /// Byte-movement instruments (null pointers = off); mirrors the
+  /// total_bytes_moved / payload_moves accounting plus verified bytes.
+  obs::ArenaMetrics metrics;
 };
 
 class ArenaStore final : public LayoutStore {

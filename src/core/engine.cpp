@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace memreal {
@@ -13,6 +14,7 @@ Engine::Engine(LayoutStore& memory, Allocator& allocator,
 }
 
 double Engine::step(const Update& update) {
+  obs::ScopedSpan apply_span(obs::SpanPhase::kApply, options_.metrics.shard);
   MEMREAL_CHECK(update.size > 0);
   if (options_.before_update) options_.before_update(update);
   const bool is_insert = update.is_insert();
@@ -28,8 +30,15 @@ double Engine::step(const Update& update) {
   } else {
     allocator_->erase(update.id);
   }
-  const Tick moved = memory_->end_update();
+  Tick moved = 0;
+  {
+    obs::ScopedSpan validate_span(obs::SpanPhase::kValidate,
+                                  options_.metrics.shard);
+    moved = memory_->end_update();
+  }
   stats_.record(is_insert, update.size, moved, memory_->last_update_bytes());
+  options_.metrics.on_update(is_insert, update.size, moved,
+                             memory_->last_update_bytes());
 
   ++step_index_;
   if (options_.check_invariants_every != 0 &&

@@ -12,6 +12,7 @@
 #include "core/run_stats.h"
 #include "core/update.h"
 #include "core/layout_store.h"
+#include "obs/metrics.h"
 
 namespace memreal {
 
@@ -25,6 +26,10 @@ struct EngineOptions {
   /// The arena cell uses this to stage the update's byte-space payload
   /// size into its store before the allocator places the item.
   std::function<void(const Update&)> before_update;
+  /// Observability instruments for this cell (null pointers = off).
+  /// Updated alongside RunStats so counters stay exactly equal to the
+  /// stats the run reports.
+  obs::CellMetrics metrics;
 };
 
 class Engine {

@@ -28,6 +28,36 @@ void RunStats::record(bool is_insert, Tick update_size, Tick moved,
   (is_insert ? insert_cost : delete_cost).add(c);
 }
 
+Json RunStats::to_json() const {
+  Json out = Json::object();
+  out.set("updates", static_cast<std::uint64_t>(updates));
+  out.set("inserts", static_cast<std::uint64_t>(inserts));
+  out.set("deletes", static_cast<std::uint64_t>(deletes));
+  out.set("moved_mass", moved_mass);
+  out.set("update_mass", update_mass);
+  out.set("moved_bytes", moved_bytes);
+  out.set("mean_cost", mean_cost());
+  out.set("ratio_cost", ratio_cost());
+  out.set("max_cost", max_cost());
+  out.set("cost_stddev", cost.stddev());
+  out.set("insert_mean_cost", insert_cost.mean());
+  out.set("delete_mean_cost", delete_cost.mean());
+  if (cost_quantiles.count() > 0) {
+    // quantile() sorts lazily (non-const); query a copy so a const stats
+    // block held by a driver thread stays untouched.
+    Quantiles q = cost_quantiles;
+    Json quantiles = Json::object();
+    quantiles.set("p50", q.quantile(0.50));
+    quantiles.set("p90", q.quantile(0.90));
+    quantiles.set("p99", q.quantile(0.99));
+    quantiles.set("max", q.quantile(1.0));
+    out.set("cost_quantiles", std::move(quantiles));
+  }
+  out.set("decision_seconds", decision_seconds);
+  out.set("wall_seconds", wall_seconds);
+  return out;
+}
+
 void RunStats::merge(const RunStats& other) {
   updates += other.updates;
   inserts += other.inserts;

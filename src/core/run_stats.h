@@ -10,6 +10,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "util/json.h"
 #include "util/stats.h"
 #include "util/types.h"
 
@@ -45,6 +46,11 @@ struct RunStats {
   void record(bool is_insert, Tick update_size, Tick moved,
               Tick moved_bytes = 0);
   void merge(const RunStats& other);
+
+  /// The full stats block as JSON — counts, masses, cost moments, and
+  /// (when samples were retained) cost quantiles.  Every tool's --json
+  /// output embeds this so the schema stays uniform across drivers.
+  [[nodiscard]] Json to_json() const;
 };
 
 }  // namespace memreal

@@ -7,6 +7,16 @@
 
 namespace memreal {
 
+obs::CellMetrics cell_metrics(const CellConfig& config) {
+  if (config.metrics == nullptr) return {};
+  obs::MetricLabels labels;
+  labels.allocator = config.allocator;
+  labels.engine = config.arena ? config.engine + "+arena" : config.engine;
+  labels.shard = config.shard_index;
+  labels.workload = config.workload_label;
+  return obs::CellMetrics::create(*config.metrics, labels);
+}
+
 std::unique_ptr<Cell> make_cell(Tick capacity, Tick eps_ticks,
                                 const CellConfig& config) {
   if (config.arena) {

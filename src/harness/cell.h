@@ -23,6 +23,7 @@
 #include "core/layout_store.h"
 #include "core/run_stats.h"
 #include "core/update.h"
+#include "obs/metrics.h"
 #include "util/types.h"
 
 namespace memreal {
@@ -50,7 +51,19 @@ struct CellConfig {
   /// Verify payload fill patterns after every move and on audit (arena
   /// cells only); disable to measure raw memmove bandwidth.
   bool verify_payloads = true;
+
+  /// Observability: when set, the cell registers per-cell instruments
+  /// (update/moved-tick counters, cost histograms — see src/obs/) under
+  /// labels {allocator, engine, shard_index, workload_label}.  Null
+  /// keeps the cell instrument-free (zero overhead).
+  obs::MetricRegistry* metrics = nullptr;
+  int shard_index = -1;
+  std::string workload_label;
 };
+
+/// The instrument bundle for a cell built from `config`; an all-null
+/// bundle when config.metrics is unset.
+[[nodiscard]] obs::CellMetrics cell_metrics(const CellConfig& config);
 
 /// A constructed cell for one update stream.  Non-movable: the allocator
 /// and engine hold references into the store member, so the cell must stay

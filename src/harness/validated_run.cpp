@@ -14,6 +14,7 @@ ValidationPolicy cell_policy(const CellConfig& config) {
 EngineOptions cell_options(const CellConfig& config) {
   EngineOptions options;
   options.check_invariants_every = config.check_invariants_every;
+  options.metrics = cell_metrics(config);
   return options;
 }
 

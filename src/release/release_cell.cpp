@@ -7,7 +7,11 @@ ReleaseCell::ReleaseCell(Tick capacity, Tick eps_ticks,
     : name_(config.allocator),
       store_(capacity, eps_ticks),
       allocator_(make_allocator(config.allocator, store_, config.params)),
-      engine_(store_, *allocator_) {}
+      engine_(store_, *allocator_, [&] {
+        ReleaseEngineOptions options;
+        options.metrics = cell_metrics(config);
+        return options;
+      }()) {}
 
 void ReleaseCell::audit() {
   store_.audit();

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "obs/trace.h"
+
 namespace memreal {
 
 ReleaseEngine::ReleaseEngine(SlabStore& store, Allocator& allocator,
@@ -13,6 +15,7 @@ ReleaseEngine::ReleaseEngine(SlabStore& store, Allocator& allocator,
 }
 
 Tick ReleaseEngine::apply(const Update& update) {
+  obs::ScopedSpan apply_span(obs::SpanPhase::kApply, options_.metrics.shard);
   const bool is_insert = update.is_insert();
   store_->begin_update(update.size, is_insert);
   if (is_insert) {
@@ -22,6 +25,7 @@ Tick ReleaseEngine::apply(const Update& update) {
   }
   const Tick moved = store_->end_update();
   stats_.record(is_insert, update.size, moved);
+  options_.metrics.on_update(is_insert, update.size, moved, 0);
   return moved;
 }
 

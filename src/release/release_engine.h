@@ -17,6 +17,7 @@
 #include "core/allocator.h"
 #include "core/run_stats.h"
 #include "core/update.h"
+#include "obs/metrics.h"
 #include "release/slab_store.h"
 
 namespace memreal {
@@ -25,6 +26,8 @@ struct ReleaseEngineOptions {
   /// Updates applied per batch in run(); a batch is one tight inner loop
   /// with no per-update branching beyond the allocator calls.
   std::size_t batch_size = 1024;
+  /// Observability instruments for this cell (null pointers = off).
+  obs::CellMetrics metrics;
 };
 
 class ReleaseEngine {

@@ -513,6 +513,33 @@ void eval_tserve(const BenchFile& f, Checker& c, std::string& headline) {
                num(sat_p99, 4) + " us at C = " +
                std::to_string(sat_clients);
   }
+  const Json* metrics = require_series(f, "metrics-consistency", c);
+  if (metrics != nullptr) {
+    bool match = true;
+    std::size_t points = 0;
+    for (const auto& [key, row] : metrics->at("rows").items()) {
+      (void)key;
+      ++points;
+      match &= row.at("counters_match").as_u64() == 1;
+    }
+    c.check(points >= 1, "metrics-consistency has measured points");
+    c.check(match, "summed per-shard cell counters equal the merged "
+                   "RunStats totals exactly on every point");
+  }
+  const Json* overhead = require_series(f, "metrics-overhead", c);
+  if (overhead != nullptr) {
+    // Same fast-mode relaxation scheme as the T-REL throughput bar:
+    // smoke-sized points are noise-dominated.
+    const double bar = f.fast_mode ? 0.85 : 0.95;
+    for (const auto& [key, row] : overhead->at("rows").items()) {
+      (void)key;
+      const double ratio = row.at("ratio").as_double();
+      c.check(ratio >= bar,
+              "metrics-on saturation throughput is " + num(ratio, 4) +
+                  "x metrics-off (>= " + num(bar, 2) + " required" +
+                  (f.fast_mode ? ", fast mode)" : ")"));
+    }
+  }
 }
 
 using EvalFn = void (*)(const BenchFile&, Checker&, std::string&);
@@ -579,9 +606,11 @@ const std::vector<ClaimRule>& claim_rules() {
        eval_tarena},
       {{"T-SERVE", "Online serving layer", "serve", "repo trajectory",
         "MPSC-queued shard workers serve concurrent clients: "
-        "deterministic mode is bit-identical to the batch engine, and "
-        "the closed-loop load generator reports ordered p50/p99/p999 "
-        "with positive saturation throughput"},
+        "deterministic mode is bit-identical to the batch engine, the "
+        "closed-loop load generator reports ordered p50/p99/p999 with "
+        "positive saturation throughput, per-shard metric counters "
+        "equal RunStats exactly, and wiring metrics costs < 5% "
+        "saturation throughput"},
        eval_tserve},
   };
   return kRules;

@@ -24,12 +24,18 @@ template <typename T>
 class MpscQueue {
  public:
   /// Enqueues one item; returns false (dropping the item) iff the queue
-  /// has been closed.
-  bool push(T item) {
+  /// has been closed.  On success `depth_out` (if non-null) receives the
+  /// backlog depth including this item, measured under the lock — the
+  /// serving layer's queue-depth gauge reads it instead of racing a
+  /// second size() call.
+  bool push(T item, std::size_t* depth_out = nullptr) {
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (closed_) return false;
       items_.push_back(std::move(item));
+      ++pushed_;
+      if (items_.size() > high_water_) high_water_ = items_.size();
+      if (depth_out != nullptr) *depth_out = items_.size();
     }
     cv_.notify_one();
     return true;
@@ -67,11 +73,25 @@ class MpscQueue {
     return items_.size();
   }
 
+  /// Largest backlog ever observed at a push (lifetime high-water mark).
+  [[nodiscard]] std::size_t high_water() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return high_water_;
+  }
+
+  /// Total items ever accepted by push().
+  [[nodiscard]] std::size_t pushed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return pushed_;
+  }
+
  private:
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::vector<T> items_;
   bool closed_ = false;
+  std::size_t high_water_ = 0;
+  std::size_t pushed_ = 0;
 };
 
 }  // namespace memreal

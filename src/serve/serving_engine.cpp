@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "arena/arena_store.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/rng.h"
 
@@ -11,6 +12,18 @@ namespace memreal {
 
 ServingEngine::ServingEngine(const ShardedConfig& config) : base_(config) {
   const std::size_t shards = base_.shard_count();
+  if (config.metrics != nullptr) {
+    serve_metrics_.reserve(shards);
+    for (std::size_t s = 0; s < shards; ++s) {
+      obs::MetricLabels labels;
+      labels.allocator = config.allocator;
+      labels.engine = config.engine;
+      labels.shard = static_cast<int>(s);
+      labels.workload = config.workload_label;
+      serve_metrics_.push_back(
+          obs::ServeMetrics::create(*config.metrics, labels));
+    }
+  }
   queues_.reserve(shards);
   shard_mu_.reserve(shards);
   for (std::size_t s = 0; s < shards; ++s) {
@@ -26,9 +39,23 @@ ServingEngine::ServingEngine(const ShardedConfig& config) : base_(config) {
 ServingEngine::~ServingEngine() { stop(); }
 
 void ServingEngine::worker_loop(std::size_t shard) {
+  const obs::ServeMetrics* metrics =
+      serve_metrics_.empty() ? nullptr : &serve_metrics_[shard];
   std::vector<Request> batch;
   while (queues_[shard]->pop_all(batch)) {
     for (Request& r : batch) {
+      if (r.traced) {
+        obs::TraceSession& trace = obs::TraceSession::global();
+        trace.record(obs::SpanPhase::kQueueWait, r.trace_begin, trace.now(),
+                     static_cast<std::int32_t>(shard));
+      }
+      if (metrics != nullptr && metrics->queue_wait_us != nullptr) {
+        const auto wait =
+            std::chrono::steady_clock::now() - r.enqueue_time;
+        metrics->queue_wait_us->record(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(wait)
+                .count()));
+      }
       try {
         double cost;
         {
@@ -54,20 +81,38 @@ std::future<double> ServingEngine::submit(const Update& update) {
   Request r;
   r.update = update;
   std::future<double> fut = r.done.get_future();
-  std::lock_guard<std::mutex> lock(route_mu_);
-  MEMREAL_CHECK_MSG(!stopped_, "submit after stop()");
-  if (!started_) {
-    started_ = true;
-    first_submit_ = std::chrono::steady_clock::now();
+  // Observability work stays outside the admission lock: stamping and
+  // gauge updates on the serialized routing path would tax every client,
+  // and the queue-wait measure deliberately includes admission wait
+  // (submit-to-pickup is the latency a caller actually experiences).
+  const bool wired = !serve_metrics_.empty();
+  if (wired) r.enqueue_time = std::chrono::steady_clock::now();
+  if (obs::TraceSession::global().active()) {
+    r.traced = true;
+    r.trace_begin = obs::TraceSession::global().now();
   }
-  // route_update mutates placement/live-mass even when the enqueue below
-  // would fail, so the stopped_ check above must stay ahead of it.
-  const std::size_t s = base_.route_update(update);
+  std::size_t s = 0;
+  std::size_t depth = 0;
   {
-    std::lock_guard<std::mutex> dlock(drain_mu_);
-    ++in_flight_;
+    std::lock_guard<std::mutex> lock(route_mu_);
+    MEMREAL_CHECK_MSG(!stopped_, "submit after stop()");
+    if (!started_) {
+      started_ = true;
+      first_submit_ = std::chrono::steady_clock::now();
+    }
+    // route_update mutates placement/live-mass even when the enqueue
+    // below would fail, so the stopped_ check above must stay ahead of
+    // it.
+    s = base_.route_update(update);
+    {
+      std::lock_guard<std::mutex> dlock(drain_mu_);
+      ++in_flight_;
+    }
+    queues_[s]->push(std::move(r), &depth);
   }
-  queues_[s]->push(std::move(r));
+  if (wired && serve_metrics_[s].queue_depth != nullptr) {
+    serve_metrics_[s].queue_depth->set(static_cast<std::int64_t>(depth));
+  }
   return fut;
 }
 

@@ -103,16 +103,30 @@ class ServingEngine {
   /// while workers run races with them — drain() or stop() first.
   [[nodiscard]] ShardedEngine& sharded() { return base_; }
 
+  /// Queue-depth high-water mark of one shard's request queue (lifetime,
+  /// from MpscQueue accounting).  Thread-safe.
+  [[nodiscard]] std::size_t queue_high_water(std::size_t shard) const {
+    return queues_.at(shard)->high_water();
+  }
+
  private:
   struct Request {
     Update update;
     std::promise<double> done;
+    /// Stamped at submit when queue metrics are wired; the shard worker
+    /// turns it into the queue-wait histogram sample.
+    std::chrono::steady_clock::time_point enqueue_time{};
+    /// Queue-wait trace span begin (wall us or logical tick), valid when
+    /// traced is set.
+    std::uint64_t trace_begin = 0;
+    bool traced = false;
   };
 
   void worker_loop(std::size_t shard);
   void finish_request();
 
   ShardedEngine base_;
+  std::vector<obs::ServeMetrics> serve_metrics_;  ///< empty = off
   std::vector<std::unique_ptr<MpscQueue<Request>>> queues_;
   /// Writer = the shard's worker applying an update; readers = queries.
   std::vector<std::unique_ptr<std::shared_mutex>> shard_mu_;

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <thread>
 
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/rng.h"
 
@@ -85,13 +86,23 @@ ShardedEngine::ShardedEngine(const ShardedConfig& config)
   cell.arena = config.arena;
   cell.bytes_per_tick = config.bytes_per_tick;
   cell.verify_payloads = config.verify_payloads;
+  cell.metrics = config.metrics;
+  cell.workload_label = config.workload_label;
   cells_.reserve(config.shards);
   for (std::size_t s = 0; s < config.shards; ++s) {
     cell.params.seed = shard_seed(config.params.seed, s);
+    cell.shard_index = static_cast<int>(s);
     cells_.push_back(make_cell(config.shard_capacity, eps_ticks, cell));
   }
   live_mass_.assign(config.shards, 0);
   pending_.resize(config.shards);
+  if (config.metrics != nullptr) {
+    obs::MetricLabels labels;
+    labels.allocator = config.allocator;
+    labels.engine = config.engine;
+    labels.workload = config.workload_label;
+    router_metrics_ = obs::RouterMetrics::create(*config.metrics, labels);
+  }
 }
 
 std::size_t ShardedEngine::least_loaded() const {
@@ -115,6 +126,7 @@ std::optional<std::size_t> ShardedEngine::find_shard(ItemId id) const {
 }
 
 std::size_t ShardedEngine::route_update(const Update& u) {
+  obs::ScopedSpan route_span(obs::SpanPhase::kRoute);
   std::size_t s;
   if (u.is_insert()) {
     MEMREAL_CHECK_MSG(!placement_.contains(u.id),
@@ -134,6 +146,9 @@ std::size_t ShardedEngine::route_update(const Update& u) {
                   << shard_budget_ << ")");
       s = fallback;
       ++fallback_routes_;
+      if (router_metrics_.fallback_routes != nullptr) {
+        router_metrics_.fallback_routes->inc();
+      }
     }
     placement_[u.id] = s;
     live_mass_[s] += u.size;
@@ -180,6 +195,7 @@ ShardedRunStats ShardedEngine::run(const Sequence& seq) {
       rebalance(config_.rebalance_threshold);
     }
     ++batches_;
+    if (router_metrics_.batches != nullptr) router_metrics_.batches->inc();
     pos = end;
   }
   const auto t1 = std::chrono::steady_clock::now();
@@ -205,6 +221,10 @@ void ShardedEngine::migrate(ItemId id, std::size_t to_shard) {
   live_mass_[to_shard] += size;
   ++migrations_;
   migrated_mass_ += size;
+  if (router_metrics_.migrations != nullptr) {
+    router_metrics_.migrations->inc();
+    router_metrics_.migrated_ticks->add(size);
+  }
 }
 
 std::size_t ShardedEngine::rebalance(double threshold) {

@@ -86,6 +86,11 @@ struct ShardedConfig {
   bool arena = false;
   Tick bytes_per_tick = 8;
   bool verify_payloads = true;
+  /// Observability (CellConfig semantics): when set, every cell registers
+  /// per-shard instruments under {allocator, engine, shard, workload} and
+  /// the router registers fallback/migration/batch counters.
+  obs::MetricRegistry* metrics = nullptr;
+  std::string workload_label;
 };
 
 /// Aggregated statistics of a sharded run: the merged global RunStats plus
@@ -191,6 +196,7 @@ class ShardedEngine {
   std::size_t migrations_ = 0;
   Tick migrated_mass_ = 0;
   double wall_seconds_ = 0.0;
+  obs::RouterMetrics router_metrics_;
 };
 
 }  // namespace memreal

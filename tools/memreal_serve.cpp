@@ -10,7 +10,9 @@
 // Run with --help for usage.  Exit status 0 = clean, 1 = invariant
 // violation or verify mismatch, 2 = usage error.
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -24,6 +26,7 @@
 #include <vector>
 
 #include "alloc/registry.h"
+#include "obs/metrics.h"
 #include "serve/serving_engine.h"
 #include "util/check.h"
 #include "util/json.h"
@@ -60,11 +63,24 @@ constexpr const char* kUsage = R"(memreal_serve [options]
   --verify-only      run only the differential, no latency sweep
   --json FILE        artifact path (default BENCH_serve.json, in
                      MEMREAL_BENCH_DIR if set; empty string disables)
+  --metrics-out FILE JSON-lines metric snapshots: one line per sweep
+                     point at quiescence, plus periodic lines while the
+                     point runs when --metrics-interval is set
+  --metrics-interval N
+                     sampler period in milliseconds for --metrics-out
+                     (0 = final snapshot per point only; default 0)
+  --prom-out FILE    Prometheus text dump of the last sweep point
+  --metrics-summary  print the metric summary table after the sweep
+  --skip-overhead    skip the metrics-overhead measurement (saturation
+                     throughput metrics-on vs metrics-off)
   --quiet            suppress the tables (summary lines + JSON only)
 
 Latency is measured per request from submit() to the future resolving
 (queueing + apply), reported as exact p50/p99/p999 from merged per-client
-Quantiles.  MEMREAL_FAST=1 shrinks the sweep for smoke runs.
+Quantiles.  Sweep points run with the metric registry wired; after each
+point the summed per-shard cell counters are checked against the merged
+RunStats integers tick-for-tick (the metrics-consistency series).
+MEMREAL_FAST=1 shrinks the sweep for smoke runs.
 )";
 
 struct Options {
@@ -84,6 +100,11 @@ struct Options {
   bool verify_only = false;
   std::string json_path = "BENCH_serve.json";
   bool json_path_set = false;
+  std::string metrics_out;
+  std::size_t metrics_interval_ms = 0;
+  std::string prom_out;
+  bool metrics_summary = false;
+  bool overhead = true;
   bool quiet = false;
 };
 
@@ -203,6 +224,16 @@ Options parse_args(int argc, char** argv) {
     } else if (flag == "--json") {
       o.json_path = next();
       o.json_path_set = true;
+    } else if (flag == "--metrics-out") {
+      o.metrics_out = next();
+    } else if (flag == "--metrics-interval") {
+      o.metrics_interval_ms = static_cast<std::size_t>(parse_u64(flag, next()));
+    } else if (flag == "--prom-out") {
+      o.prom_out = next();
+    } else if (flag == "--metrics-summary") {
+      o.metrics_summary = true;
+    } else if (flag == "--skip-overhead") {
+      o.overhead = false;
     } else if (flag == "--quiet") {
       o.quiet = true;
     } else {
@@ -296,6 +327,66 @@ Sequence client_workload(const Options& o, Tick shard_capacity,
   return s;
 }
 
+/// Cell-metric label used by the sweep: memreal_serve drives the churn
+/// workload, and arena-backed cells register under "<engine>+arena".
+std::string engine_label(const Options& o) {
+  return o.arena ? o.engine + "+arena" : o.engine;
+}
+
+/// Exactness check: the per-shard cell counters must equal the engine's
+/// per-shard RunStats integers tick-for-tick, and so must their sums vs
+/// the merged global block.  Any drift means an instrumentation site was
+/// skipped or double-counted.
+bool counters_match_stats(const Options& o, const ShardedRunStats& stats) {
+  obs::MetricRegistry& reg = obs::MetricRegistry::global();
+  std::uint64_t updates = 0;
+  std::uint64_t moved = 0;
+  std::uint64_t umass = 0;
+  for (std::size_t s = 0; s < stats.per_shard.size(); ++s) {
+    obs::MetricLabels l;
+    l.allocator = o.allocator;
+    l.engine = engine_label(o);
+    l.shard = static_cast<int>(s);
+    l.workload = "churn";
+    const RunStats& ps = stats.per_shard[s];
+    const std::uint64_t u =
+        reg.counter("memreal_cell_updates_total", l)->value();
+    const std::uint64_t m =
+        reg.counter("memreal_cell_moved_ticks_total", l)->value();
+    const std::uint64_t k =
+        reg.counter("memreal_cell_update_ticks_total", l)->value();
+    if (u != ps.updates || m != static_cast<std::uint64_t>(ps.moved_mass) ||
+        k != static_cast<std::uint64_t>(ps.update_mass) ||
+        reg.counter("memreal_cell_inserts_total", l)->value() != ps.inserts ||
+        reg.counter("memreal_cell_deletes_total", l)->value() != ps.deletes ||
+        reg.counter("memreal_cell_moved_bytes_total", l)->value() !=
+            static_cast<std::uint64_t>(ps.moved_bytes) ||
+        reg.histogram("memreal_cell_cost", l)->count() != ps.updates) {
+      return false;
+    }
+    updates += u;
+    moved += m;
+    umass += k;
+  }
+  return updates == stats.global.updates &&
+         moved == static_cast<std::uint64_t>(stats.global.moved_mass) &&
+         umass == static_cast<std::uint64_t>(stats.global.update_mass);
+}
+
+/// One JSON line of --metrics-out: point context + full registry snapshot.
+void write_snapshot_line(std::ostream& out, std::size_t point,
+                         std::size_t clients, double elapsed_ms, bool final) {
+  Json line = Json::object();
+  line.set("point", static_cast<std::uint64_t>(point))
+      .set("clients", static_cast<std::uint64_t>(clients))
+      .set("elapsed_ms", elapsed_ms)
+      .set("final", final)
+      .set("metrics",
+           obs::MetricRegistry::global().snapshot_json().at("metrics"));
+  out << line.dump(0) << "\n";
+  out.flush();
+}
+
 struct PointResult {
   std::size_t clients = 0;
   double target_qps = 0;
@@ -307,15 +398,27 @@ struct PointResult {
   double p999_us = 0;
   double max_us = 0;
   double mean_us = 0;
+  bool counters_match = true;  ///< only meaningful when metrics wired
+  std::size_t queue_high_water = 0;
 };
 
 /// One closed-loop sweep point: `clients` threads drive a fresh engine,
 /// each waiting on every future (optionally paced to target_qps total).
+/// With `wire_metrics` the registry is reset and wired through the cell
+/// seam; `snap_out` (with optional periodic sampler) receives JSON-lines
+/// snapshots and the point ends with the counters-vs-stats exactness
+/// check.
 PointResult run_point(const Options& o, Tick shard_capacity,
                       std::size_t clients, double target_qps,
-                      std::size_t point_index) {
-  ServingEngine engine(
-      base_config(o, o.allocator, o.engine, shard_capacity));
+                      std::size_t point_index, bool wire_metrics,
+                      std::ostream* snap_out) {
+  ShardedConfig config = base_config(o, o.allocator, o.engine, shard_capacity);
+  if (wire_metrics) {
+    obs::MetricRegistry::global().reset();
+    config.metrics = &obs::MetricRegistry::global();
+    config.workload_label = "churn";
+  }
+  ServingEngine engine(config);
 
   std::vector<Sequence> streams;
   streams.reserve(clients);
@@ -333,6 +436,27 @@ PointResult run_point(const Options& o, Tick shard_capacity,
 
   using clock = std::chrono::steady_clock;
   const auto start = clock::now();
+
+  // Periodic snapshot sampler: wakes every --metrics-interval ms and
+  // appends one JSON line while the point runs.  The final (quiescent)
+  // line is written by the main thread after drain.
+  std::mutex sampler_mu;
+  std::condition_variable sampler_cv;
+  bool sampler_stop = false;
+  std::thread sampler;
+  if (snap_out != nullptr && o.metrics_interval_ms > 0) {
+    sampler = std::thread([&] {
+      std::unique_lock<std::mutex> lock(sampler_mu);
+      while (!sampler_cv.wait_for(
+          lock, std::chrono::milliseconds(o.metrics_interval_ms),
+          [&] { return sampler_stop; })) {
+        const double ms = std::chrono::duration<double, std::milli>(
+                              clock::now() - start).count();
+        write_snapshot_line(*snap_out, point_index, clients, ms, false);
+      }
+    });
+  }
+
   std::vector<std::thread> threads;
   threads.reserve(clients);
   for (std::size_t c = 0; c < clients; ++c) {
@@ -367,7 +491,33 @@ PointResult run_point(const Options& o, Tick shard_capacity,
   for (std::thread& t : threads) t.join();
   engine.drain();
   const auto end = clock::now();
+  if (sampler.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(sampler_mu);
+      sampler_stop = true;
+    }
+    sampler_cv.notify_one();
+    sampler.join();
+  }
   if (first_error) std::rethrow_exception(first_error);
+
+  bool counters_match = true;
+  std::size_t queue_high_water = 0;
+  if (wire_metrics) {
+    // drain() leaves the workers idle with every update applied, so the
+    // relaxed counters are quiesced: compare them against the engine's
+    // own stats before tearing anything down.
+    const ShardedRunStats sstats = engine.stats();
+    counters_match = counters_match_stats(o, sstats);
+    for (std::size_t s = 0; s < o.shards; ++s) {
+      queue_high_water = std::max(queue_high_water, engine.queue_high_water(s));
+    }
+    if (snap_out != nullptr) {
+      const double ms =
+          std::chrono::duration<double, std::milli>(end - start).count();
+      write_snapshot_line(*snap_out, point_index, clients, ms, true);
+    }
+  }
   engine.audit();
   engine.stop();
 
@@ -390,6 +540,55 @@ PointResult run_point(const Options& o, Tick shard_capacity,
   r.p999_us = merged.quantile(0.999);
   r.max_us = merged.quantile(1.0);
   r.mean_us = stats.mean();
+  r.counters_match = counters_match;
+  r.queue_high_water = queue_high_water;
+  return r;
+}
+
+struct OverheadResult {
+  std::size_t clients = 0;
+  double qps_off = 0;
+  double qps_on = 0;
+  double ratio = 0;
+};
+
+double best_of(const std::vector<double>& v) {
+  return v.empty() ? 0 : *std::max_element(v.begin(), v.end());
+}
+
+/// Metrics overhead at saturation: best-of-N closed-loop throughput
+/// with the registry unwired vs wired.  Reps are interleaved rep-by-rep
+/// so thermal / scheduler drift hits both arms equally, and each arm
+/// takes its best rep: interference on a shared box only ever slows a
+/// run down, so the max is the estimator of uncontended speed and a
+/// median would fold unrelated stalls into the reported overhead.
+OverheadResult measure_overhead(const Options& o, Tick shard_capacity,
+                                std::size_t reps, std::size_t point_base) {
+  OverheadResult r;
+  r.clients = *std::max_element(o.clients.begin(), o.clients.end());
+  std::vector<double> off;
+  std::vector<double> on;
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    // Same point index for both arms = identical request streams, and
+    // the arm order flips every rep so monotone drift (frequency
+    // scaling, cache warmth) cancels instead of always taxing one arm.
+    const std::size_t point = point_base + rep;
+    auto qps = [&](bool wired) {
+      return run_point(o, shard_capacity, r.clients, 0.0, point, wired,
+                       nullptr)
+          .achieved_qps;
+    };
+    if (rep % 2 == 0) {
+      off.push_back(qps(false));
+      on.push_back(qps(true));
+    } else {
+      on.push_back(qps(true));
+      off.push_back(qps(false));
+    }
+  }
+  r.qps_off = best_of(off);
+  r.qps_on = best_of(on);
+  r.ratio = r.qps_off > 0 ? r.qps_on / r.qps_off : 0;
   return r;
 }
 
@@ -554,16 +753,40 @@ int run(const Options& o) {
   }
 
   if (!o.verify_only) {
+    std::ofstream snap_file;
+    std::ostream* snap_out = nullptr;
+    if (!o.metrics_out.empty()) {
+      snap_file.open(o.metrics_out);
+      if (!snap_file) {
+        std::fprintf(stderr, "memreal_serve: cannot write '%s'\n",
+                     o.metrics_out.c_str());
+        return 1;
+      }
+      snap_out = &snap_file;
+    }
+
     Table lt({"clients", "target_qps", "achieved_qps", "p50_us", "p99_us",
               "p999_us", "max_us", "mean_us"});
     Json rows = Json::array();
+    Json consistency_rows = Json::array();
+    bool metrics_ok = true;
     std::size_t point = 0;
     for (const std::size_t clients : o.clients) {
       for (const double qps : o.qps) {
         Options po = o;
         po.updates = sweep_updates;
         const PointResult r =
-            run_point(po, shard_capacity, clients, qps, point++);
+            run_point(po, shard_capacity, clients, qps, point++,
+                      /*wire_metrics=*/true, snap_out);
+        metrics_ok &= r.counters_match;
+        Json crow = Json::object();
+        crow.set("clients", static_cast<std::uint64_t>(r.clients))
+            .set("target_qps", r.target_qps)
+            .set("updates", static_cast<std::uint64_t>(r.updates))
+            .set("counters_match", std::uint64_t{r.counters_match ? 1u : 0u})
+            .set("queue_high_water",
+                 static_cast<std::uint64_t>(r.queue_high_water));
+        consistency_rows.push(std::move(crow));
         lt.add_row({std::to_string(r.clients),
                     qps > 0 ? Table::num(qps, 6) : std::string("sat"),
                     Table::num(r.achieved_qps, 6), Table::num(r.p50_us, 4),
@@ -600,6 +823,69 @@ int run(const Options& o) {
         .set("workload", "churn")
         .set("rows", std::move(rows));
     records.push(std::move(rec));
+
+    // Per-point exactness: summed per-shard cell counters == merged
+    // RunStats totals, tick-for-tick.
+    verify_ok &= metrics_ok;
+    std::cout << "metrics consistency: "
+              << (metrics_ok ? "counters equal RunStats on every point"
+                             : "MISMATCH (counters drifted from RunStats)")
+              << "\n";
+    Json crec = Json::object();
+    crec.set("kind", "serve_metrics")
+        .set("claim", "T-SERVE")
+        .set("series", "metrics-consistency")
+        .set("allocator", o.allocator)
+        .set("engine", o.arena ? "arena" : o.engine)
+        .set("rows", std::move(consistency_rows));
+    records.push(std::move(crec));
+
+    if (o.overhead) {
+      Options po = o;
+      po.updates = sweep_updates;
+      const std::size_t reps = fast ? 3 : 9;
+      const OverheadResult ov =
+          measure_overhead(po, shard_capacity, reps, point);
+      if (!o.quiet) {
+        std::cout << "\nmetrics overhead at saturation (" << ov.clients
+                  << " clients, best of " << reps << "): off "
+                  << Table::num(ov.qps_off, 6) << " qps, on "
+                  << Table::num(ov.qps_on, 6) << " qps, ratio "
+                  << Table::num(ov.ratio, 4) << "\n";
+      }
+      Json orow = Json::object();
+      orow.set("clients", static_cast<std::uint64_t>(ov.clients))
+          .set("updates", static_cast<std::uint64_t>(sweep_updates))
+          .set("qps_metrics_off", ov.qps_off)
+          .set("qps_metrics_on", ov.qps_on)
+          .set("ratio", ov.ratio);
+      Json orows = Json::array();
+      orows.push(std::move(orow));
+      Json orec = Json::object();
+      orec.set("kind", "serve_overhead")
+          .set("claim", "T-SERVE")
+          .set("series", "metrics-overhead")
+          .set("allocator", o.allocator)
+          .set("engine", o.arena ? "arena" : o.engine)
+          .set("rows", std::move(orows));
+      records.push(std::move(orec));
+    }
+
+    if (!o.prom_out.empty()) {
+      std::ofstream prom(o.prom_out);
+      if (!prom) {
+        std::fprintf(stderr, "memreal_serve: cannot write '%s'\n",
+                     o.prom_out.c_str());
+        return 1;
+      }
+      prom << obs::MetricRegistry::global().prometheus_text();
+      std::cout << "wrote " << o.prom_out << "\n";
+    }
+    if (snap_out != nullptr) std::cout << "wrote " << o.metrics_out << "\n";
+    if (o.metrics_summary) {
+      std::cout << "\nmetric summary (last wired point):\n"
+                << obs::MetricRegistry::global().summary_table();
+    }
   }
 
   if (!o.json_path.empty()) {

@@ -10,6 +10,7 @@
 #include <string>
 
 #include "alloc/registry.h"
+#include "obs/metrics.h"
 #include "shard/sharded_engine.h"
 #include "util/check.h"
 #include "util/json.h"
@@ -63,6 +64,10 @@ constexpr const char* kUsage = R"(memreal_shard [options]
   --audit-every N    full per-cell audit cadence (default 0 = final only)
   --no-validate      disable incremental per-update validation
   --json FILE        also write the results as JSON to FILE
+  --metrics-summary  print the end-of-run metrics table (wires the
+                     observability registry through every cell)
+  --metrics-out FILE write a final metrics snapshot (JSON) to FILE
+  --prom-out FILE    write a Prometheus text-format dump to FILE
   --quiet            suppress the tables (summary line + JSON only)
 
 The workload's size band comes from the allocator's registered
@@ -94,7 +99,14 @@ struct Options {
   std::size_t audit_every = 0;
   bool validate = true;
   std::string json_path;
+  bool metrics_summary = false;
+  std::string metrics_out;
+  std::string prom_out;
   bool quiet = false;
+
+  [[nodiscard]] bool metrics_wired() const {
+    return metrics_summary || !metrics_out.empty() || !prom_out.empty();
+  }
 };
 
 [[noreturn]] void usage_error(const std::string& what) {
@@ -187,6 +199,12 @@ Options parse_args(int argc, char** argv) {
       o.validate = false;
     } else if (flag == "--json") {
       o.json_path = next();
+    } else if (flag == "--metrics-summary") {
+      o.metrics_summary = true;
+    } else if (flag == "--metrics-out") {
+      o.metrics_out = next();
+    } else if (flag == "--prom-out") {
+      o.prom_out = next();
     } else if (flag == "--quiet") {
       o.quiet = true;
     } else {
@@ -358,9 +376,39 @@ Json results_json(const Options& o, const ShardedEngine& engine,
       .set("schema", std::uint64_t{1})
       .set("config", std::move(config))
       .set("global", std::move(global))
+      .set("stats", stats.global.to_json())
       .set("routing", std::move(routing))
       .set("shards", std::move(shards));
   return doc;
+}
+
+/// Writes the final registry snapshot / Prometheus dump / summary table
+/// the --metrics-* flags asked for.  Shared verbatim by memreal_trace.
+int write_metrics_outputs(const char* tool, const obs::MetricRegistry& reg,
+                          const std::string& metrics_out,
+                          const std::string& prom_out, bool summary) {
+  if (!metrics_out.empty()) {
+    std::ofstream out(metrics_out);
+    if (!out) {
+      std::fprintf(stderr, "%s: cannot write '%s'\n", tool,
+                   metrics_out.c_str());
+      return 1;
+    }
+    out << reg.snapshot_json().dump(2) << "\n";
+  }
+  if (!prom_out.empty()) {
+    std::ofstream out(prom_out);
+    if (!out) {
+      std::fprintf(stderr, "%s: cannot write '%s'\n", tool,
+                   prom_out.c_str());
+      return 1;
+    }
+    out << reg.prometheus_text();
+  }
+  if (summary) {
+    std::cout << "metrics summary:\n" << reg.summary_table();
+  }
+  return 0;
 }
 
 int run(const Options& o) {
@@ -383,6 +431,11 @@ int run(const Options& o) {
   config.rebalance_threshold = o.rebalance;
   config.incremental_validation = o.validate;
   config.audit_every = o.audit_every;
+  if (o.metrics_wired()) {
+    obs::MetricRegistry::global().reset();
+    config.metrics = &obs::MetricRegistry::global();
+    config.workload_label = o.workload;
+  }
 
   const Sequence seq = make_workload(o, shard_capacity);
   ShardedEngine engine(config);
@@ -437,6 +490,12 @@ int run(const Options& o) {
       return 1;
     }
     out << results_json(o, engine, seq, stats).dump(2) << "\n";
+  }
+  if (o.metrics_wired()) {
+    const int rc = write_metrics_outputs(
+        "memreal_shard", obs::MetricRegistry::global(), o.metrics_out,
+        o.prom_out, o.metrics_summary);
+    if (rc != 0) return rc;
   }
   return 0;
 }
