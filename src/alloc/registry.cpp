@@ -28,6 +28,40 @@ Tick SizeProfile::max_size(double eps, Tick capacity) const {
   return std::max(min_size(eps, capacity) + 1, ticks);
 }
 
+bool AllocatorInfo::serves(const WorkloadShape& shape, double eps,
+                           Tick capacity, std::string* why) const {
+  auto reject = [&](const std::string& reason) {
+    if (why != nullptr) *why = name + ": " + reason;
+    return false;
+  };
+  if (eps > max_eps) {
+    return reject("eps " + std::to_string(eps) +
+                  " beyond the supported ceiling " + std::to_string(max_eps));
+  }
+  if (universal) return true;
+  if (shape.min_size < 1 || shape.min_size > shape.max_size) {
+    return reject("degenerate workload band [" +
+                  std::to_string(shape.min_size) + ", " +
+                  std::to_string(shape.max_size) + "]");
+  }
+  if (sizes.fixed_palette && !shape.fixed_palette) {
+    return reject(
+        "serves structured sizes only — the workload must reuse a small "
+        "fixed palette, not sample the band freely");
+  }
+  const Tick lo = sizes.min_size(eps, capacity);
+  const Tick hi = sizes.max_size(eps, capacity) - 1;  // band is [lo, hi)
+  if (shape.min_size < lo) {
+    return reject("workload min size " + std::to_string(shape.min_size) +
+                  " below the served band's " + std::to_string(lo));
+  }
+  if (shape.max_size > hi) {
+    return reject("workload max size " + std::to_string(shape.max_size) +
+                  " above the served band's " + std::to_string(hi));
+  }
+  return true;
+}
+
 double CostBudget::bound(double eps) const {
   MEMREAL_CHECK(eps > 0.0 && eps < 1.0);
   const double inv = 1.0 / eps;
@@ -84,7 +118,8 @@ const std::vector<Entry>& builtin_entries() {
                    c.seed = p.seed;
                    return std::make_unique<TinySlabAllocator>(mem, c);
                  }});
-    e.push_back({{"flexhash", tiny, {32.0, 0.5}, 1.0 / 32, 0.0, false, true},
+    e.push_back({{"flexhash", tiny, {32.0, 0.5}, 1.0 / 32, 0.0, false, true,
+                  /*max_eps=*/1.0 / 16},
                  [](LayoutStore& mem, const AllocatorParams& p) {
                    FlexHashConfig c;
                    c.eps = p.eps;

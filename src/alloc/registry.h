@@ -64,6 +64,19 @@ struct CostBudget {
   [[nodiscard]] double bound(double eps) const;
 };
 
+/// The size shape of a workload: the tick band its inserts draw from and
+/// whether the sizes form a small reused palette.  Drivers derive one from
+/// a generator's configuration and ask AllocatorInfo::serves before a run,
+/// so an inadmissible (workload, allocator) pair is rejected up front with
+/// a reason instead of failing mid-run.
+struct WorkloadShape {
+  Tick min_size = 1;  ///< smallest insert, inclusive
+  Tick max_size = 1;  ///< largest insert, inclusive
+  /// Sizes are drawn once as a small fixed set and reused (DISCRETE-style
+  /// structured sizes) rather than sampled freely from the band.
+  bool fixed_palette = false;
+};
+
 /// Registry metadata for one allocator: everything the fuzzer needs to
 /// generate admissible workloads and judge the run.
 struct AllocatorInfo {
@@ -77,6 +90,19 @@ struct AllocatorInfo {
   bool universal = false;
   /// Included in memreal_fuzz's default target set.
   bool fuzz_default = true;
+  /// Largest eps the allocator's guarantee (and implementation) supports;
+  /// serves() rejects coarser regimes.  FLEXHASH's hashed placement needs
+  /// eps <= 1/16 — beyond that its headroom constants collapse and items
+  /// land past the end of memory.
+  double max_eps = 0.25;
+
+  /// True when this allocator guarantees to serve every sequence of
+  /// `shape` at (`eps`, `capacity`): the shape's band lies inside the
+  /// allocator's SizeProfile band and a fixed-palette requirement is met.
+  /// Universal allocators serve every shape.  On rejection, `why` (when
+  /// non-null) receives a one-line reason naming the violated bound.
+  [[nodiscard]] bool serves(const WorkloadShape& shape, double eps,
+                            Tick capacity, std::string* why = nullptr) const;
 };
 
 /// Returns the factory for `name`; throws InvariantViolation for unknown

@@ -4,7 +4,9 @@
 #include <cctype>
 #include <filesystem>
 #include <fstream>
+#include <iomanip>
 #include <sstream>
+#include <stdexcept>
 
 #include "util/check.h"
 #include "workload/trace.h"
@@ -23,8 +25,13 @@ std::string corpus_file_name(const CorpusEntry& entry) {
 std::string corpus_to_string(const CorpusEntry& entry) {
   std::ostringstream os;
   os << "#! allocator=" << entry.allocator << " kind=" << entry.kind
-     << " seed=" << entry.seed << " iteration=" << entry.iteration << "\n";
-  os << trace_to_string(entry.seq);
+     << " seed=" << entry.seed << " iteration=" << entry.iteration;
+  if (!entry.engine.empty()) os << " engine=" << entry.engine;
+  if (entry.ratio > 0) {
+    // max_digits10 so the recorded ratio round-trips bit-exactly.
+    os << " ratio=" << std::setprecision(17) << entry.ratio;
+  }
+  os << "\n" << trace_to_string(entry.seq);
   return os.str();
 }
 
@@ -44,6 +51,20 @@ std::uint64_t parse_u64(const std::string& value) {
   } catch (const std::exception&) {
     MEMREAL_CHECK_MSG(false,
                       "corpus metadata value out of range '" << value << "'");
+  }
+}
+
+double parse_ratio(const std::string& value) {
+  try {
+    std::size_t consumed = 0;
+    const double d = std::stod(value, &consumed);
+    MEMREAL_CHECK_MSG(consumed == value.size() && d >= 0,
+                      "malformed corpus ratio '" << value << "'");
+    return d;
+  } catch (const std::invalid_argument&) {
+    MEMREAL_CHECK_MSG(false, "malformed corpus ratio '" << value << "'");
+  } catch (const std::out_of_range&) {
+    MEMREAL_CHECK_MSG(false, "corpus ratio out of range '" << value << "'");
   }
 }
 
@@ -70,6 +91,10 @@ CorpusEntry corpus_from_string(const std::string& text) {
         entry.seed = parse_u64(value);
       } else if (key == "iteration") {
         entry.iteration = parse_u64(value);
+      } else if (key == "engine") {
+        entry.engine = value;
+      } else if (key == "ratio") {
+        entry.ratio = parse_ratio(value);
       }
     }
   }

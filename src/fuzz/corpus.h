@@ -16,9 +16,14 @@ namespace memreal {
 struct CorpusEntry {
   Sequence seq;
   std::string allocator;     ///< failing target
-  std::string kind;          ///< to_string(FailureKind)
+  std::string kind;          ///< to_string(FailureKind), or "perf-ratio"
   std::uint64_t seed = 0;    ///< campaign seed
   std::uint64_t iteration = 0;
+  /// Performance adversaries (kind "perf-ratio") additionally record the
+  /// evaluation engine and the realized cost ratio at save time, so replay
+  /// can assert the exact recorded value.  Omitted when empty/zero.
+  std::string engine;
+  double ratio = 0;
 };
 
 /// Canonical file name: <allocator>-<kind>-s<seed>-i<iteration>.trace

@@ -8,6 +8,7 @@
 #include "fuzz/corpus.h"
 #include "fuzz/generator.h"
 #include "fuzz/mutator.h"
+#include "perfadv/zoo.h"
 #include "util/check.h"
 #include "util/parallel.h"
 #include "util/rng.h"
@@ -114,6 +115,30 @@ Sequence shrink_failure(const Sequence& failing, const FailureReport& report,
   return shrink_sequence(failing, same_bug, sc).seq;
 }
 
+/// Every target must serve cfg.scenario at its group's (eps, capacity);
+/// throws naming the first misfit and its compatible scenarios.
+void check_scenario_targets(const FuzzConfig& cfg,
+                            const std::vector<TargetGroup>& groups) {
+  for (const TargetGroup& group : groups) {
+    for (const AllocatorInfo& info : group.members) {
+      const std::string why = scenario_incompatibility(
+          cfg.scenario, info, group.eps, cfg.capacity);
+      if (why.empty()) continue;
+      std::string compat;
+      for (const std::string& s :
+           compatible_scenarios(info, group.eps, cfg.capacity)) {
+        if (!compat.empty()) compat += ", ";
+        compat += s;
+      }
+      MEMREAL_CHECK_MSG(false, why << " (compatible scenarios for "
+                                   << info.name << ": "
+                                   << (compat.empty() ? "none at this eps"
+                                                      : compat)
+                                   << ")");
+    }
+  }
+}
+
 }  // namespace
 
 std::vector<AllocatorInfo> resolve_fuzz_targets(const FuzzConfig& cfg) {
@@ -138,6 +163,7 @@ FuzzSummary run_fuzz(const FuzzConfig& cfg) {
                         << cfg.engine << "' (validated, release, arena)");
   const std::vector<TargetGroup> groups =
       make_target_groups(resolve_fuzz_targets(cfg));
+  if (!cfg.scenario.empty()) check_scenario_targets(cfg, groups);
 
   std::vector<std::optional<FuzzFailure>> slots(cfg.iterations);
   std::atomic<std::size_t> sequences{0};
@@ -153,14 +179,29 @@ FuzzSummary run_fuzz(const FuzzConfig& cfg) {
             make_differential_config(group, iseed, cfg);
         Rng rng(iseed);
 
-        GeneratorConfig gen;
-        gen.capacity = cfg.capacity;
-        gen.eps = group.eps;
-        gen.sizes = group.sizes;
-        gen.updates = cfg.updates_per_sequence;
         std::ostringstream name;
         name << "fuzz-s" << cfg.seed << "-i" << iter;
-        Sequence seq = generate_sequence(gen, rng, name.str());
+        Sequence seq;
+        if (cfg.scenario.empty()) {
+          GeneratorConfig gen;
+          gen.capacity = cfg.capacity;
+          gen.eps = group.eps;
+          gen.sizes = group.sizes;
+          gen.updates = cfg.updates_per_sequence;
+          seq = generate_sequence(gen, rng, name.str());
+        } else {
+          // Zoo-structured base: the group's band, a per-iteration seed.
+          ScenarioParams sp;
+          sp.capacity = cfg.capacity;
+          sp.eps = group.eps;
+          sp.min_size = group.sizes.min_size(group.eps, cfg.capacity);
+          sp.max_size = group.sizes.max_size(group.eps, cfg.capacity) - 1;
+          sp.fixed_palette = group.sizes.fixed_palette;
+          sp.updates = cfg.updates_per_sequence;
+          sp.seed = rng.next_u64();
+          seq = make_scenario(cfg.scenario, sp);
+          seq.name = name.str();
+        }
 
         MutatorConfig mut;
         mut.eps = group.eps;

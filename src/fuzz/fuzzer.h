@@ -36,6 +36,12 @@ struct FuzzConfig {
   std::size_t mutants_per_sequence = 2;
   /// Registry names to fuzz; empty = every fuzz_default registration.
   std::vector<std::string> allocators;
+  /// Scenario-zoo name to generate base sequences from (perfadv/zoo.h)
+  /// instead of the free-form fuzz generator; empty = free-form.  Every
+  /// resolved target must be able to serve the scenario at its group's
+  /// (eps, band) — run_fuzz throws up front listing each incompatible
+  /// target's compatible scenarios rather than failing mid-campaign.
+  std::string scenario;
   Tick capacity = Tick{1} << 40;
   /// "validated" fuzzes the validating cells alone; "release" additionally
   /// runs every target on the release engine in lockstep and reports any

@@ -85,4 +85,15 @@ CertifiedRun run_certified_lower_bound(const LowerBoundSpec& spec,
   return out;
 }
 
+SequenceFloor sequence_cost_floor(const Sequence& seq) {
+  SequenceFloor floor;
+  for (const Update& u : seq.updates) {
+    if (!u.is_insert()) continue;
+    ++floor.inserts;
+    floor.write_mass += u.size;
+  }
+  floor.cost_floor = static_cast<double>(floor.inserts);
+  return floor;
+}
+
 }  // namespace memreal

@@ -48,4 +48,22 @@ struct CertifiedRun {
     const LowerBoundSpec& spec, const std::string& allocator_name,
     std::uint64_t seed = 1);
 
+/// The allocator-independent cost floor of an *arbitrary* well-formed
+/// sequence — the trivial instantiation of the potential argument, with
+/// Phi(prefix) = number of inserts so far.  Every insert must at least
+/// write its own item (L >= k, so its cost L/k >= 1) while deletes may be
+/// free, hence sum_i L_i/k_i >= #inserts for any allocator.  Two
+/// properties make it usable as the denominator of the adversarial
+/// search's realized cost ratio (src/perfadv):
+///   * monotone under sequence extension (appending updates never
+///     decreases the floor), and
+///   * invariant under cost-neutral updates (deletes add zero).
+struct SequenceFloor {
+  std::size_t inserts = 0;
+  Tick write_mass = 0;    ///< sum of inserted tick sizes (minimal L total)
+  double cost_floor = 0;  ///< lower bound on sum_i L_i/k_i (= inserts)
+};
+
+[[nodiscard]] SequenceFloor sequence_cost_floor(const Sequence& seq);
+
 }  // namespace memreal

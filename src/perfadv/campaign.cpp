@@ -1,0 +1,80 @@
+#include "perfadv/campaign.h"
+
+#include "alloc/registry.h"
+#include "fuzz/corpus.h"
+#include "fuzz/fuzzer.h"
+#include "util/check.h"
+#include "util/parallel.h"
+
+namespace memreal {
+
+AdvCampaign run_adv_campaign(const AdvCampaignConfig& config) {
+  std::vector<std::string> names = config.allocators;
+  if (names.empty()) {
+    for (const AllocatorInfo& info : allocator_infos()) {
+      if (info.fuzz_default) names.push_back(info.name);
+    }
+  } else {
+    for (const std::string& n : names) (void)allocator_info(n);  // validate
+  }
+  MEMREAL_CHECK_MSG(!names.empty(), "no campaign targets");
+
+  AdvCampaign campaign;
+  campaign.results.resize(names.size());
+  campaign.corpus_paths.resize(names.size());
+  // One search per allocator; each is seeded purely from (seed, name), so
+  // scheduling order cannot leak into any result.
+  parallel_for(
+      names.size(),
+      [&](std::size_t i) {
+        AdvSearchConfig cfg = config.base;
+        cfg.allocator = names[i];
+        campaign.results[i] = run_adv_search(cfg);
+      },
+      config.threads);
+
+  if (config.corpus_dir.empty()) return campaign;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const AdvResult& res = campaign.results[i];
+    if (res.adversary.updates.empty()) continue;
+    CorpusEntry entry;
+    entry.seq = res.adversary;
+    entry.allocator = res.allocator;
+    entry.kind = kAdvCorpusKind;
+    entry.seed = res.seed;
+    entry.iteration = 0;
+    entry.engine = res.engine;
+    entry.ratio = res.shrunk_ratio;
+    campaign.corpus_paths[i] = save_corpus_entry(entry, config.corpus_dir);
+  }
+  return campaign;
+}
+
+std::vector<AdvReplay> replay_adversaries(const std::string& dir,
+                                          double retain) {
+  std::vector<AdvReplay> replays;
+  for (const std::string& path : list_corpus(dir)) {
+    const CorpusEntry entry = load_corpus_entry(path);
+    if (entry.kind != kAdvCorpusKind) continue;
+    AdvReplay replay;
+    replay.path = path;
+    replay.allocator = entry.allocator;
+    replay.engine = entry.engine.empty() ? "validated" : entry.engine;
+    replay.recorded_ratio = entry.ratio;
+    const AllocatorInfo info = allocator_info(entry.allocator);
+    replay.budget_ceiling = info.budget.bound(entry.seq.eps);
+    // Reconstruct the exact allocator randomness the search used.
+    const std::uint64_t alloc_seed =
+        iteration_seed(target_seed(entry.seed, entry.allocator), 0);
+    replay.replayed_ratio =
+        evaluate_adversary(entry.seq, entry.allocator, replay.engine,
+                           alloc_seed)
+            .ratio;
+    replay.ok = replay.replayed_ratio + 1e-12 >=
+                retain * replay.recorded_ratio;
+    replays.push_back(replay);
+  }
+  return replays;
+}
+
+}  // namespace memreal

@@ -1,0 +1,63 @@
+// The adversarial campaign driver: one run_adv_search per target
+// allocator, fanned out over parallel_for.  Each search derives every
+// random stream from (campaign seed, allocator name) alone, so the
+// campaign is thread-count-invariant and any member can be reproduced
+// bit-exactly by a single-allocator run with the same seed.
+//
+// Shrunk adversaries are persisted as corpus entries (kind "perf-ratio")
+// whose metadata records the evaluation engine and the realized ratio to
+// full precision; replay_adversaries re-runs each committed trace against
+// its recorded allocator and checks the ratio has not regressed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "perfadv/search.h"
+
+namespace memreal {
+
+/// Corpus `kind` tag for performance adversaries (vs the fuzzer's
+/// FailureKind tags).
+inline constexpr const char* kAdvCorpusKind = "perf-ratio";
+
+struct AdvCampaignConfig {
+  /// Per-target search parameters; `base.allocator` is ignored (replaced
+  /// by each campaign member).
+  AdvSearchConfig base;
+  /// Registry names to attack; empty = every fuzz_default registration.
+  std::vector<std::string> allocators;
+  std::size_t threads = 0;  ///< 0 = all cores
+  /// Directory for shrunk adversaries; empty = don't persist.
+  std::string corpus_dir;
+};
+
+struct AdvCampaign {
+  std::vector<AdvResult> results;  ///< one per allocator, campaign order
+  /// Parallel to `results`; "" when not persisted (no corpus_dir, or the
+  /// search found nothing better than an empty sequence).
+  std::vector<std::string> corpus_paths;
+};
+
+/// Runs the campaign.  Deterministic: identical config (minus threads)
+/// yields bit-identical results and byte-identical corpus files.
+[[nodiscard]] AdvCampaign run_adv_campaign(const AdvCampaignConfig& config);
+
+/// One committed adversary replayed against its recorded target.
+struct AdvReplay {
+  std::string path;
+  std::string allocator;
+  std::string engine;
+  double recorded_ratio = 0;  ///< ratio from the trace metadata
+  double replayed_ratio = 0;  ///< ratio realized by this replay
+  double budget_ceiling = 0;  ///< CostBudget::bound at the trace's eps
+  bool ok = false;            ///< replayed >= retain * recorded
+};
+
+/// Replays every perf-ratio *.trace under `dir` against its recorded
+/// (allocator, engine, seed), scoring `ok` as replayed_ratio >=
+/// retain * recorded_ratio.  Non-perf-ratio corpus files are skipped.
+[[nodiscard]] std::vector<AdvReplay> replay_adversaries(
+    const std::string& dir, double retain = 0.99);
+
+}  // namespace memreal

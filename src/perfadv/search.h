@@ -1,0 +1,114 @@
+// The adversarial performance search: reuse the fuzzer's
+// mutate-and-repair machinery (src/fuzz) with a *performance* objective —
+// maximize a sequence's realized cost ratio against the allocator-
+// independent lower-bound floor from src/lb (sequence_cost_floor):
+//
+//   ratio(seq) = (sum_i L_i/k_i realized by the allocator) / #inserts
+//
+// The loop seeds a population from the scenario zoo (plus any planted
+// extra seeds), hill-climbs with mutate_sequence (accepting mutants that
+// beat their parent, and occasionally near-best mutants for novelty), and
+// finally runs a *cost-preserving* ddmin shrink: the shrink predicate
+// keeps every candidate realizing >= shrink_retain of the found ratio, so
+// the reproducer stays adversarial while dropping everything incidental.
+//
+// Determinism: every random stream is a pure function of (seed,
+// allocator, stream index) via the fuzzer's iteration_seed/target_seed
+// derivation, so a search is bit-reproducible and a campaign over many
+// allocators is thread-count-invariant.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "alloc/registry.h"
+#include "workload/sequence.h"
+
+namespace memreal {
+
+/// The eps run_adv_search uses for `info`: the explicit request when
+/// `requested > 0`, else the registry default doubled (capped at
+/// info.max_eps) until the allocator's average band size keeps zoo fill
+/// phases searchable — TINYSLAB-family bands (sizes <= eps^4 of capacity)
+/// need ~eps^-4 fill items regardless of capacity.
+[[nodiscard]] double adv_search_eps(const AllocatorInfo& info,
+                                    double requested, Tick capacity);
+
+struct AdvObjective {
+  double ratio = 0;       ///< total_cost / floor (0 when no inserts)
+  double total_cost = 0;  ///< sum of per-update L/k realized by the run
+  double floor = 0;       ///< sequence_cost_floor().cost_floor
+};
+
+/// Runs `seq` through a cell of (allocator, engine) and scores it.  The
+/// release engine is bit-identical on the cost channel (ctest -L release)
+/// and ~10x faster, so searches default to it.
+[[nodiscard]] AdvObjective evaluate_adversary(const Sequence& seq,
+                                              const std::string& allocator,
+                                              const std::string& engine,
+                                              std::uint64_t alloc_seed);
+
+struct AdvSearchConfig {
+  std::string allocator = "folklore-compact";
+  std::string engine = "release";  ///< evaluation engine
+  Tick capacity = Tick{1} << 40;
+  double eps = 0;  ///< 0 = the allocator's registry default
+  /// Length budget for zoo-seeded sequences (churn updates after fill).
+  std::size_t updates = 300;
+  /// Mutation evaluations after the seed round (also capped by
+  /// max_search_work).
+  std::size_t iterations = 300;
+  std::size_t max_edits = 4;  ///< mutator edits per mutant
+  /// Zoo scenarios to seed from; empty = every compatible scenario.
+  /// Throws (listing the compatible set) when a named scenario cannot
+  /// serve the allocator.
+  std::vector<std::string> scenarios;
+  /// Planted seeds joining the initial population (tests; not part of
+  /// the zoo baseline).  Must share capacity/eps with the config.
+  std::vector<Sequence> extra_seeds;
+  std::uint64_t seed = 1;
+  bool shrink = true;
+  double shrink_retain = 0.9;  ///< shrunk ratio >= retain * found ratio
+  std::size_t max_shrink_checks = 1'500;
+  /// Work ceilings, in simulation-work units (one unit ~ one tick of moved
+  /// mass or one update stepped).  Simulation time scales with realized
+  /// cost, not update count — a GEO evaluation moves ~100x the mass of a
+  /// folklore one — so budgeting *work* keeps wall time uniform across
+  /// allocators.  The seed round is exempt (every scenario must be scored
+  /// to fix the baseline); the hill climb stops once its spent work
+  /// exceeds max_search_work, and the shrink's check ceiling is derived
+  /// from max_shrink_work and the cost of re-evaluating the found best.
+  double max_search_work = 50e6;
+  double max_shrink_work = 25e6;
+};
+
+struct AdvResult {
+  std::string allocator;
+  std::string engine;
+  double eps = 0;
+  std::uint64_t seed = 1;        ///< campaign seed (config.seed)
+  std::uint64_t alloc_seed = 1;  ///< derived allocator randomness
+  std::string baseline_scenario;  ///< best zoo seed's scenario
+  double baseline_ratio = 0;      ///< best ratio among zoo seeds alone
+  double found_ratio = 0;         ///< best ratio after the search
+  double shrunk_ratio = 0;        ///< ratio realized by `adversary`
+  std::size_t original_updates = 0;  ///< pre-shrink length of the best
+  std::size_t shrunk_updates = 0;    ///< adversary.size()
+  std::size_t evaluations = 0;       ///< objective evaluations spent
+  bool shrink_minimal = false;       ///< ddmin reached a local minimum
+  double budget_ceiling = 0;  ///< CostBudget::bound(eps) for the target
+  Sequence adversary;  ///< the shrunk reproducer (the found best when
+                       ///< shrinking is disabled)
+
+  /// Search gain over the best zoo seed.
+  [[nodiscard]] double gain() const {
+    return baseline_ratio > 0 ? found_ratio / baseline_ratio : 0.0;
+  }
+};
+
+/// Runs the guided search for one allocator.  Deterministic: identical
+/// config yields a bit-identical result.
+[[nodiscard]] AdvResult run_adv_search(const AdvSearchConfig& config);
+
+}  // namespace memreal

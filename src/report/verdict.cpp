@@ -542,6 +542,64 @@ void eval_tserve(const BenchFile& f, Checker& c, std::string& headline) {
   }
 }
 
+// T-ADV — the adversarial performance search: guided mutation pressure
+// seeded from the scenario zoo must not push any registry allocator over
+// its CostBudget ceiling, folklore (the Theta(eps^-1) baseline) must
+// remain measurably easier to hurt than SIMPLE, the folklore-windowed
+// search must clearly beat its best zoo seed (the machinery finds
+// structure the zoo alone misses), and every shrunk reproducer must
+// retain >= 90% of its found ratio.
+void eval_tadv(const BenchFile& f, Checker& c, std::string& headline) {
+  const Json* rec = require_series(f, "adv-ratio", c);
+  if (rec == nullptr) return;
+
+  bool all_under = true;
+  bool all_retained = true;
+  std::size_t rows = 0;
+  double worst_ratio = 0;
+  std::string worst_allocator;
+  double compact_found = 0;
+  double simple_found = 0;
+  double windowed_gain = 0;
+  for (const auto& [key, row] : rec->at("rows").items()) {
+    (void)key;
+    ++rows;
+    const std::string allocator = row.at("allocator").as_string();
+    const double found = row.at("found_ratio").as_double();
+    all_under &= found < row.at("budget_ceiling").as_double();
+    all_retained &= row.at("shrink_retained").as_double() >= 0.9;
+    if (found > worst_ratio) {
+      worst_ratio = found;
+      worst_allocator = allocator;
+    }
+    if (allocator == "folklore_compact") compact_found = found;
+    if (allocator == "simple") simple_found = found;
+    if (allocator == "folklore_windowed") {
+      windowed_gain = row.at("gain").as_double();
+    }
+  }
+  const std::size_t min_rows = f.fast_mode ? 5 : 9;
+  c.check(rows >= min_rows,
+          "adv-ratio covers " + std::to_string(rows) + " allocators (>= " +
+              std::to_string(min_rows) +
+              (f.fast_mode ? ", fast mode)" : ")"));
+  c.check(all_under,
+          "every found ratio stays under its CostBudget ceiling");
+  c.check(all_retained,
+          "every shrunk reproducer retains >= 0.9 of its found ratio");
+  const double margin =
+      simple_found > 0 ? compact_found / simple_found : 0.0;
+  c.check(margin >= 1.15,
+          "folklore-compact's found ratio exceeds SIMPLE's by " +
+              num(margin, 3) + "x (>= 1.15 — the guided search "
+              "reproduces the folklore-vs-SIMPLE separation)");
+  c.check(windowed_gain >= 1.5,
+          "folklore-windowed search gain over its best zoo seed: " +
+              num(windowed_gain, 3) + "x (>= 1.5)");
+  headline = "worst found ratio " + num(worst_ratio, 4) + " (" +
+             worst_allocator + "), all under budget";
+}
+
 using EvalFn = void (*)(const BenchFile&, Checker&, std::string&);
 
 struct ClaimRule {
@@ -612,6 +670,13 @@ const std::vector<ClaimRule>& claim_rules() {
         "equal RunStats exactly, and wiring metrics costs < 5% "
         "saturation throughput"},
        eval_tserve},
+      {{"T-ADV", "Adversarial search", "adv", "repo trajectory",
+        "zoo-seeded guided mutation search: no registry allocator's "
+        "found cost ratio crosses its CostBudget ceiling, folklore "
+        "stays >= 1.15x easier to hurt than SIMPLE, the folklore-"
+        "windowed search beats its best zoo seed >= 1.5x, and shrunk "
+        "reproducers retain >= 90% of the found ratio"},
+       eval_tadv},
   };
   return kRules;
 }

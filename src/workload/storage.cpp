@@ -1,0 +1,140 @@
+#include "workload/storage.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/check.h"
+
+namespace memreal {
+
+Sequence make_db_page_churn(const DbPageChurnConfig& c) {
+  const auto cap_d = static_cast<double>(c.capacity);
+  Tick min_page = c.min_page;
+  Tick max_page = c.max_page;
+  if (min_page == 0) {
+    min_page = std::max<Tick>(1, static_cast<Tick>(c.eps * cap_d / 4.0));
+  }
+  if (max_page == 0) max_page = static_cast<Tick>(2.0 * c.eps * cap_d) - 1;
+  MEMREAL_CHECK(min_page >= 1 && min_page <= max_page);
+
+  // The page-size ladder: doubling rungs inside the band.
+  std::vector<Tick> ladder;
+  for (Tick s = min_page; s <= max_page; s *= 2) {
+    ladder.push_back(s);
+    if (s > max_page / 2) break;
+  }
+  MEMREAL_CHECK_MSG(ladder.size() >= 3,
+                    "db_page_churn needs a size band spanning at least two "
+                    "doublings (max/min >= 4); got ["
+                        << min_page << ", " << max_page << "]");
+
+  SequenceBuilder b("db_page_churn", c.capacity, c.eps);
+  Rng rng(c.seed);
+  // File sizes skew small (min of two uniform rung draws), the usual
+  // storage distribution.
+  auto draw_rung = [&]() -> std::size_t {
+    const std::size_t a = rng.next_below(ladder.size());
+    const std::size_t d = rng.next_below(ladder.size());
+    return std::min(a, d);
+  };
+  auto rung_of = [&](Tick size) -> std::size_t {
+    for (std::size_t r = 0; r < ladder.size(); ++r) {
+      if (ladder[r] == size) return r;
+    }
+    MEMREAL_CHECK_MSG(false, "size " << size << " off the page ladder");
+  };
+
+  const auto target =
+      static_cast<Tick>(c.target_load * static_cast<double>(b.budget()));
+  while (true) {
+    const Tick s = ladder[draw_rung()];
+    if (b.live_mass() + s > target) break;
+    b.insert(s);
+  }
+  MEMREAL_CHECK_MSG(b.live_count() >= 2, "page sizes too large for load");
+
+  const std::size_t limit = b.update_count() + c.churn_updates;
+  while (b.update_count() < limit) {
+    if (rng.next_double() < c.resize_prob && b.live_count() > 0) {
+      // Cost-oblivious resize: move the file one rung, whatever it costs
+      // the allocator.
+      const auto k = static_cast<std::size_t>(rng.next_below(b.live_count()));
+      const Tick s = b.size_at(k);
+      const std::size_t r = rung_of(s);
+      bool grow = rng.next_double() < c.grow_bias;
+      if (grow && r + 1 >= ladder.size()) grow = false;
+      if (!grow && r == 0) grow = r + 1 < ladder.size();
+      const Tick ns = grow ? ladder[r + 1] : (r > 0 ? ladder[r - 1] : s);
+      b.erase_at(k);
+      // A grow that no longer fits the budget lands back at the old size
+      // (the resize failed, the file stays) — still two updates.
+      b.insert(b.can_insert(ns) ? ns : s);
+      continue;
+    }
+    const Tick s = ladder[draw_rung()];
+    if (b.live_mass() + s <= target && b.can_insert(s)) {
+      b.insert(s);
+    } else if (b.live_count() > 0) {
+      b.erase_random(rng);
+    } else {
+      b.insert(ladder[0]);
+    }
+  }
+  Sequence out = b.take();
+  out.name = "db_page_churn";
+  return out;
+}
+
+Sequence make_defrag_burst(const DefragBurstConfig& c) {
+  const auto cap_d = static_cast<double>(c.capacity);
+  Tick lo = c.min_size;
+  Tick hi = c.max_size;
+  if (lo == 0) lo = std::max<Tick>(1, static_cast<Tick>(c.eps * cap_d));
+  if (hi == 0) hi = static_cast<Tick>(2.0 * c.eps * cap_d) - 1;
+  MEMREAL_CHECK(lo >= 1 && lo <= hi);
+
+  SequenceBuilder b("defrag_burst", c.capacity, c.eps);
+  Rng rng(c.seed);
+  std::vector<Tick> palette;
+  for (std::size_t i = 0; i < c.palette; ++i) {
+    palette.push_back(rng.next_in(lo, hi));
+  }
+  auto draw = [&]() -> Tick {
+    if (palette.empty()) return rng.next_in(lo, hi);
+    return palette[rng.next_below(palette.size())];
+  };
+  // The refill size is the band (or palette) maximum: after a scatter-free
+  // wave no single hole can host it, so placing it forces compaction.
+  const Tick big =
+      palette.empty() ? hi : *std::max_element(palette.begin(), palette.end());
+
+  const auto high =
+      static_cast<Tick>(c.high_load * static_cast<double>(b.budget()));
+  while (true) {
+    const Tick s = draw();
+    if (b.live_mass() + s > high) break;
+    b.insert(s);
+  }
+  MEMREAL_CHECK_MSG(b.live_count() >= 2, "sizes too large for high_load");
+
+  const std::size_t limit = b.update_count() + c.churn_updates;
+  for (std::size_t wave = 0;
+       wave < c.max_waves && b.update_count() < limit; ++wave) {
+    // Scatter-free every other live item: maximal fragmentation for the
+    // freed mass.  (Back-to-front keeps erase_at indices stable.)
+    for (std::size_t i = b.live_count(); i >= 2; i -= 2) {
+      b.erase_at(i - 2);
+      if (b.update_count() >= limit) break;
+    }
+    // Compaction burst: refill the freed mass with hole-defeating items.
+    while (b.update_count() < limit && b.can_insert(big) &&
+           b.live_mass() + big <= high) {
+      b.insert(big);
+    }
+  }
+  Sequence out = b.take();
+  out.name = "defrag_burst";
+  return out;
+}
+
+}  // namespace memreal

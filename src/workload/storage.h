@@ -1,0 +1,60 @@
+// Storage-system workloads from the related reallocation literature:
+//
+//  * make_db_page_churn — Bender et al.-style *cost-oblivious* storage
+//    reallocation: files/pages live on a doubling size ladder and are
+//    grown or shrunk by whole rungs whenever the workload demands it,
+//    regardless of what the move costs the allocator.  Needs a band
+//    spanning at least two doublings (ratio >= 4).
+//  * make_defrag_burst  — Fekete et al.-style compaction waves: fill to
+//    high load, scatter-free alternating items so the free space is
+//    maximally fragmented, then refill with band-maximal items no single
+//    hole can host, forcing the allocator to compact.
+//
+// Both are offline, well-formed Sequences like every other generator, and
+// both are registered in the scenario zoo (src/perfadv/zoo.h) so the
+// drivers and the adversarial search can request them by name.
+#pragma once
+
+#include <cstdint>
+
+#include "workload/sequence.h"
+
+namespace memreal {
+
+struct DbPageChurnConfig {
+  Tick capacity = kDefaultCapacity;
+  double eps = 1.0 / 64;
+  /// Page-size ladder: doubling rungs min_page, 2*min_page, ... while
+  /// <= max_page.  0 = eps/4 and 2*eps of capacity respectively.
+  Tick min_page = 0;
+  Tick max_page = 0;
+  double target_load = 0.8;
+  /// Per churn step: probability the step resizes a live file by one rung
+  /// (cost-obliviously) instead of creating/dropping one.
+  double resize_prob = 0.6;
+  double grow_bias = 0.5;  ///< P(grow | resize); shrink otherwise
+  std::size_t churn_updates = 2'000;  ///< updates after the fill phase
+  std::uint64_t seed = 1;
+};
+
+[[nodiscard]] Sequence make_db_page_churn(const DbPageChurnConfig& c);
+
+struct DefragBurstConfig {
+  Tick capacity = kDefaultCapacity;
+  double eps = 1.0 / 64;
+  Tick min_size = 0;  ///< inclusive; 0 = eps of capacity
+  Tick max_size = 0;  ///< inclusive; 0 = 2*eps of capacity - 1
+  /// 0 = sample the band freely; > 0 = draw this many distinct sizes once
+  /// and reuse them (DISCRETE-compatible streams).
+  std::size_t palette = 0;
+  double high_load = 0.85;
+  /// Ceiling on compaction waves; generation also stops once
+  /// churn_updates post-fill updates were emitted, whichever comes first.
+  std::size_t max_waves = 64;
+  std::size_t churn_updates = 2'000;
+  std::uint64_t seed = 1;
+};
+
+[[nodiscard]] Sequence make_defrag_burst(const DefragBurstConfig& c);
+
+}  // namespace memreal

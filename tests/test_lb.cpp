@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <map>
 
 #include "lb/lower_bound.h"
 #include "lb/potential.h"
@@ -139,6 +140,80 @@ INSTANTIATE_TEST_SUITE_P(
                       LbParam{"folklore-windowed", 1.0 / 4096},
                       LbParam{"rsum", 1.0 / 256},
                       LbParam{"rsum", 1.0 / 4096}));
+
+// --- sequence_cost_floor: the adversarial search's denominator --------
+
+Sequence floor_test_sequence() {
+  ChurnConfig c;
+  c.capacity = Tick{1} << 30;
+  c.eps = 1.0 / 32;
+  c.min_size = (Tick{1} << 30) / 32;
+  c.max_size = (Tick{1} << 30) / 16 - 1;
+  c.target_load = 0.7;
+  c.churn_updates = 200;
+  c.seed = 17;
+  return make_churn(c);
+}
+
+// The floor is monotone under extension: every prefix's floor is <= the
+// next prefix's, so a mutation that appends updates can never shrink the
+// adversarial ratio's denominator retroactively.
+TEST(SequenceFloor, MonotoneUnderExtension) {
+  const Sequence seq = floor_test_sequence();
+  Sequence prefix = seq;
+  prefix.updates.clear();
+  double prev = 0.0;
+  for (const Update& u : seq.updates) {
+    prefix.updates.push_back(u);
+    const SequenceFloor f = sequence_cost_floor(prefix);
+    EXPECT_GE(f.cost_floor, prev);
+    prev = f.cost_floor;
+  }
+  EXPECT_EQ(static_cast<std::size_t>(prev),
+            sequence_cost_floor(seq).inserts);
+}
+
+// Cost-neutral updates leave the floor invariant: deletes may be served
+// for free, so only inserts count.
+TEST(SequenceFloor, InvariantUnderCostNeutralUpdates) {
+  const Sequence seq = floor_test_sequence();
+  const SequenceFloor base = sequence_cost_floor(seq);
+  EXPECT_EQ(base.cost_floor, static_cast<double>(base.inserts));
+
+  // Deleting every live item at the end adds zero floor.
+  Sequence extended = seq;
+  std::map<ItemId, Tick> live;
+  for (const Update& u : seq.updates) {
+    if (u.is_insert()) {
+      live[u.id] = u.size;
+    } else {
+      live.erase(u.id);
+    }
+  }
+  for (const auto& [id, size] : live) {
+    extended.updates.push_back(Update::erase(id, size));
+  }
+  extended.check_well_formed();
+  const SequenceFloor ext = sequence_cost_floor(extended);
+  EXPECT_EQ(ext.cost_floor, base.cost_floor);
+  EXPECT_EQ(ext.inserts, base.inserts);
+  EXPECT_EQ(ext.write_mass, base.write_mass);
+}
+
+// The floor's write-mass channel sums exactly the inserted tick sizes.
+TEST(SequenceFloor, WriteMassSumsInsertedSizes) {
+  const Sequence seq = floor_test_sequence();
+  Tick mass = 0;
+  std::size_t inserts = 0;
+  for (const Update& u : seq.updates) {
+    if (!u.is_insert()) continue;
+    mass += u.size;
+    ++inserts;
+  }
+  const SequenceFloor f = sequence_cost_floor(seq);
+  EXPECT_EQ(f.write_mass, mass);
+  EXPECT_EQ(f.inserts, inserts);
+}
 
 }  // namespace
 }  // namespace memreal

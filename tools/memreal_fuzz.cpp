@@ -26,6 +26,11 @@ constexpr const char* kUsage = R"(memreal_fuzz [options]
   --updates N        updates per generated sequence (default 200)
   --mutants N        mutants chained off each base sequence (default 2)
   --allocators a,b   comma-separated registry names (default: all)
+  --scenario NAME    generate base sequences from the named scenario-zoo
+                     workload (memreal_adv --list-scenarios) instead of
+                     the free-form generator; errors up front, listing
+                     each target's compatible scenarios, if any resolved
+                     target cannot serve it
   --engine E         "validated" (default), "release", or "arena".
                      release also runs every target on the unchecked
                      release engine in lockstep and reports any
@@ -119,6 +124,7 @@ std::string reproduce_command(const FuzzConfig& cfg, std::uint64_t iteration) {
      << cfg.mutants_per_sequence << " --capacity-log2 "
      << std::countr_zero(cfg.capacity);
   if (cfg.engine != "validated") os << " --engine " << cfg.engine;
+  if (!cfg.scenario.empty()) os << " --scenario " << cfg.scenario;
   if (cfg.budget_slack != 1.0) os << " --budget-slack " << cfg.budget_slack;
   if (!cfg.allocators.empty()) {
     os << " --allocators ";
@@ -180,6 +186,8 @@ int main(int argc, char** argv) {
           static_cast<std::size_t>(parse_u64(flag, value()));
     } else if (flag == "--allocators") {
       cfg.allocators = split_csv(value());
+    } else if (flag == "--scenario") {
+      cfg.scenario = value();
     } else if (flag == "--engine") {
       cfg.engine = value();
       if (cfg.engine != "validated" && cfg.engine != "release" &&

@@ -27,6 +27,7 @@
 
 #include "alloc/registry.h"
 #include "obs/metrics.h"
+#include "perfadv/zoo.h"
 #include "serve/serving_engine.h"
 #include "util/check.h"
 #include "util/json.h"
@@ -41,6 +42,11 @@ using namespace memreal;
 
 constexpr const char* kUsage = R"(memreal_serve [options]
   --allocator NAME   registry allocator for every cell (default simple)
+  --workload W       client request stream: churn (default) or any
+                     tick-native scenario-zoo name (memreal_adv
+                     --list-scenarios); a zoo workload the allocator
+                     cannot serve errors up front with the compatible
+                     list
   --engine E         cell engine: validated (default), release or arena
                      (arena = byte-backed cells, alias for --arena,
                      matching memreal_shard / memreal_fuzz)
@@ -85,6 +91,7 @@ MEMREAL_FAST=1 shrinks the sweep for smoke runs.
 
 struct Options {
   std::string allocator = "simple";
+  std::string workload = "churn";
   std::string engine = "validated";
   bool arena = false;
   Tick bytes_per_tick = 8;
@@ -206,6 +213,8 @@ Options parse_args(int argc, char** argv) {
       for (const std::string& e : split_list(flag, next())) {
         o.qps.push_back(parse_double(flag, e.c_str()));
       }
+    } else if (flag == "--workload") {
+      o.workload = next();
     } else if (flag == "--updates") {
       o.updates = static_cast<std::size_t>(parse_u64(flag, next()));
     } else if (flag == "--eps") {
@@ -256,6 +265,36 @@ Options parse_args(int argc, char** argv) {
   if (o.verify_only && !o.verify) {
     usage_error("--verify-only and --skip-verify are mutually exclusive");
   }
+  if (o.workload != "churn") {
+    const ScenarioInfo* s = find_scenario(o.workload);
+    if (s == nullptr) {
+      std::string zoo;
+      for (const std::string& n : scenario_names()) zoo += ", " + n;
+      usage_error("unknown workload '" + o.workload + "' (known: churn" +
+                  zoo + ")");
+    }
+    if (s->byte_mode) {
+      usage_error("workload '" + o.workload +
+                  "' is byte-addressed; the serving layer drives "
+                  "tick-native streams (use memreal_shard for byte "
+                  "workloads)");
+    }
+    const Tick shard_capacity = Tick{1} << o.capacity_log2;
+    const std::string why = scenario_incompatibility(
+        o.workload, allocator_info(o.allocator), o.eps, shard_capacity);
+    if (!why.empty()) {
+      std::string compat;
+      for (const std::string& n : compatible_scenarios(
+               allocator_info(o.allocator), o.eps, shard_capacity)) {
+        const ScenarioInfo* info = find_scenario(n);
+        if (info != nullptr && info->byte_mode) continue;
+        if (!compat.empty()) compat += ", ";
+        compat += n;
+      }
+      usage_error(why + " (compatible scenarios for " + o.allocator + ": " +
+                  (compat.empty() ? "none at this eps" : compat) + ")");
+    }
+  }
   return o;
 }
 
@@ -302,7 +341,15 @@ Sequence client_workload(const Options& o, Tick shard_capacity,
                                    std::max<std::size_t>(updates, 1'000));
   SplitMix64 mix(o.seed + 7919 * point + client);
   Sequence s;
-  if (info.sizes.fixed_palette) {
+  if (o.workload != "churn") {
+    // Zoo scenario: band over the shard capacity like the churn path,
+    // budget and fill bounded to this client's slice.
+    ScenarioParams p = scenario_params_for(info, o.eps, shard_capacity,
+                                           updates, mix.next());
+    p.capacity = capacity;
+    p.target_load = load;
+    s = make_scenario(o.workload, p);
+  } else if (info.sizes.fixed_palette) {
     DiscreteChurnConfig c;
     c.capacity = capacity;
     c.eps = o.eps;
@@ -347,7 +394,7 @@ bool counters_match_stats(const Options& o, const ShardedRunStats& stats) {
     l.allocator = o.allocator;
     l.engine = engine_label(o);
     l.shard = static_cast<int>(s);
-    l.workload = "churn";
+    l.workload = o.workload;
     const RunStats& ps = stats.per_shard[s];
     const std::uint64_t u =
         reg.counter("memreal_cell_updates_total", l)->value();
@@ -416,7 +463,7 @@ PointResult run_point(const Options& o, Tick shard_capacity,
   if (wire_metrics) {
     obs::MetricRegistry::global().reset();
     config.metrics = &obs::MetricRegistry::global();
-    config.workload_label = "churn";
+    config.workload_label = o.workload;
   }
   ServingEngine engine(config);
 
@@ -820,7 +867,7 @@ int run(const Options& o) {
         .set("series", "latency-sweep")
         .set("allocator", o.allocator)
         .set("engine", o.arena ? "arena" : o.engine)
-        .set("workload", "churn")
+        .set("workload", o.workload)
         .set("rows", std::move(rows));
     records.push(std::move(rec));
 

@@ -11,6 +11,7 @@
 
 #include "alloc/registry.h"
 #include "obs/metrics.h"
+#include "perfadv/zoo.h"
 #include "shard/sharded_engine.h"
 #include "util/check.h"
 #include "util/json.h"
@@ -47,7 +48,10 @@ constexpr const char* kUsage = R"(memreal_shard [options]
   --eps X            free-space parameter (default 0.015625)
   --router P         hash | size-class | round-robin (default hash)
   --workload W       churn | multi-tenant | skewed | vm_heap (default
-                     churn).  vm_heap is the byte-addressed GC-heap
+                     churn), or any scenario-zoo name (memreal_adv
+                     --list-scenarios); a zoo workload the allocator
+                     cannot serve errors up front with the compatible
+                     list.  vm_heap is the byte-addressed GC-heap
                      stream (grow-realloc chains, generational death,
                      compaction bursts); pair it with --arena to
                      exercise real payload movement
@@ -222,9 +226,13 @@ Options parse_args(int argc, char** argv) {
   }
   if (o.eps <= 0.0 || o.eps >= 1.0) usage_error("--eps must be in (0, 1)");
   if (o.workload != "churn" && o.workload != "multi-tenant" &&
-      o.workload != "skewed" && o.workload != "vm_heap") {
+      o.workload != "skewed" && o.workload != "vm_heap" &&
+      find_scenario(o.workload) == nullptr) {
+    std::string zoo;
+    for (const std::string& s : scenario_names()) zoo += ", " + s;
     usage_error("unknown workload '" + o.workload +
-                "' (known: churn, multi-tenant, skewed, vm_heap)");
+                "' (known: churn, multi-tenant, skewed, vm_heap" + zoo +
+                ")");
   }
   return o;
 }
@@ -237,6 +245,31 @@ Sequence make_workload(const Options& o, Tick shard_capacity) {
   const Tick global_capacity = shard_capacity * o.shards;
   const Tick min_size = info.sizes.min_size(o.eps, shard_capacity);
   const Tick max_size = info.sizes.max_size(o.eps, shard_capacity) - 1;
+  const bool legacy = o.workload == "churn" || o.workload == "multi-tenant" ||
+                      o.workload == "skewed" || o.workload == "vm_heap";
+  if (!legacy) {
+    // Scenario-zoo workload: band over the shard capacity (like the
+    // legacy paths), live-mass budget over the global capacity.
+    const std::string why =
+        scenario_incompatibility(o.workload, info, o.eps, shard_capacity);
+    if (!why.empty()) {
+      std::string compat;
+      for (const std::string& s :
+           compatible_scenarios(info, o.eps, shard_capacity)) {
+        if (!compat.empty()) compat += ", ";
+        compat += s;
+      }
+      usage_error(why + " (compatible scenarios for " + o.allocator + ": " +
+                  (compat.empty() ? "none at this eps" : compat) + ")");
+    }
+    ScenarioParams p =
+        scenario_params_for(info, o.eps, shard_capacity, o.updates, o.seed);
+    p.capacity = global_capacity;
+    p.tenants = o.tenants;
+    if (o.zipf >= 0.0) p.zipf_s = o.zipf;
+    p.bytes_per_tick = o.bytes_per_tick;
+    return make_scenario(o.workload, p);
+  }
   if (o.workload == "vm_heap") {
     // Byte band derived from the allocator's tick band: the smallest
     // byte size that still rounds up to min_size ticks, up to the
